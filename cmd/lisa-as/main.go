@@ -1,0 +1,65 @@
+// lisa-as is the retargetable assembler generated from a LISA model: it
+// translates assembly text into instruction words using the model's SYNTAX
+// and CODING sections.
+//
+// Usage:
+//
+//	lisa-as -model simple16 prog.s            # hex words to stdout
+//	lisa-as -model c62x -listing prog.s       # address/word/disassembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golisa/internal/core"
+)
+
+func main() {
+	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	listing := flag.Bool("listing", false, "print an address/word/disassembly listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lisa-as -model <name|file.lisa> prog.s")
+		os.Exit(2)
+	}
+	m := loadModel(*modelName)
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	a, err := m.NewAssembler()
+	fail(err)
+	prog, err := a.Assemble(string(src))
+	fail(err)
+
+	if *listing {
+		d, err := m.NewDisassembler()
+		fail(err)
+		for _, line := range d.Listing(prog.Origin, prog.Words) {
+			fmt.Println(line)
+		}
+		return
+	}
+	fmt.Printf("; origin %#x, %d words\n", prog.Origin, len(prog.Words))
+	for _, w := range prog.Words {
+		fmt.Printf("%0*x\n", (prog.Width+3)/4, w)
+	}
+}
+
+func loadModel(name string) *core.Machine {
+	if m, err := core.LoadBuiltin(name); err == nil {
+		return m
+	}
+	src, err := os.ReadFile(name)
+	fail(err)
+	m, err := core.LoadMachine(name, string(src))
+	fail(err)
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-as:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+// lisa-dis is the retargetable disassembler generated from a LISA model:
+// it renders instruction words back to assembly text.
+//
+// Usage:
+//
+//	lisa-dis -model c62x 0x01234560 0xdeadbeef
+//	lisa-as -model c62x prog.s | lisa-dis -model c62x   # reads hex from stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"golisa/internal/core"
+)
+
+func main() {
+	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	flag.Parse()
+	m := loadModel(*modelName)
+	d, err := m.NewDisassembler()
+	fail(err)
+
+	words := flag.Args()
+	if len(words) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, ";") {
+				continue
+			}
+			words = append(words, line)
+		}
+	}
+	for _, ws := range words {
+		w, err := strconv.ParseUint(strings.TrimPrefix(ws, "0x"), 16, 64)
+		fail(err)
+		text, err := d.Disassemble(w)
+		if err != nil {
+			text = fmt.Sprintf(".word 0x%x ; %v", w, err)
+		}
+		fmt.Println(text)
+	}
+}
+
+func loadModel(name string) *core.Machine {
+	if m, err := core.LoadBuiltin(name); err == nil {
+		return m
+	}
+	src, err := os.ReadFile(name)
+	fail(err)
+	m, err := core.LoadMachine(name, string(src))
+	fail(err)
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-dis:", err)
+		os.Exit(1)
+	}
+}

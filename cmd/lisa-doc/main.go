@@ -1,0 +1,42 @@
+// lisa-doc generates textbook-style markdown documentation from a LISA
+// model — the automatic documentation generation the paper describes in
+// §1.1 as a replacement for hand-written (and usually stale) manuals.
+//
+// Usage:
+//
+//	lisa-doc -model c62x > c62x.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golisa/internal/core"
+	"golisa/internal/docgen"
+)
+
+func main() {
+	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	flag.Parse()
+	m := loadModel(*modelName)
+	fmt.Print(docgen.Generate(m.Model))
+}
+
+func loadModel(name string) *core.Machine {
+	if m, err := core.LoadBuiltin(name); err == nil {
+		return m
+	}
+	src, err := os.ReadFile(name)
+	fail(err)
+	m, err := core.LoadMachine(name, string(src))
+	fail(err)
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-doc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// lisa-sim runs a program on the bit- and cycle-accurate simulator
+// generated from a LISA model, in interpretive or compiled mode.
+//
+// Usage:
+//
+//	lisa-sim -model simple16 -mode compiled -max 100000 prog.s
+//	lisa-sim -model c62x -trace trace.vcd prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+	"golisa/internal/vcd"
+)
+
+func main() {
+	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	modeName := flag.String("mode", "compiled", "simulation mode: interpretive, compiled, prebound")
+	maxSteps := flag.Uint64("max", 1_000_000, "maximum control steps")
+	trace := flag.String("trace", "", "write a VCD trace to this file")
+	dumpRegs := flag.String("regs", "", "comma-free register file to dump after the run (e.g. A)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lisa-sim [-model m] [-mode m] prog.s")
+		os.Exit(2)
+	}
+
+	var mode sim.Mode
+	switch *modeName {
+	case "interpretive":
+		mode = sim.Interpretive
+	case "compiled":
+		mode = sim.Compiled
+	case "prebound":
+		mode = sim.CompiledPrebound
+	default:
+		fail(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	m := loadModel(*modelName)
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	s, prog, err := m.AssembleAndLoad(string(src), mode)
+	fail(err)
+	s.OnPrint = func(msg string) { fmt.Println(msg) }
+
+	var traceFile *os.File
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		fail(err)
+		defer traceFile.Close()
+		w := vcd.New(traceFile, s.S, s.Pipes())
+		w.Header(m.Model.Name)
+		s.OnStep = func(step uint64) { w.Step(step) }
+	}
+
+	n, err := s.Run(*maxSteps)
+	fail(err)
+	p := s.Profile()
+	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
+	fmt.Printf("; %d control steps (%s mode), halted=%v\n", n, mode, s.Halted())
+	fmt.Printf("; %d decodes, %d decode-cache hits, %d activations\n",
+		p.Decodes, p.DecodeHits, p.Activations)
+
+	if *dumpRegs != "" {
+		r := s.M.Resource(*dumpRegs)
+		if r == nil || !r.IsMemory() {
+			fail(fmt.Errorf("no register file %q", *dumpRegs))
+		}
+		for i := uint64(0); i < r.Total(); i++ {
+			v, err := s.Mem(*dumpRegs, i+r.Base)
+			fail(err)
+			fmt.Printf("%s%-2d = %d\n", *dumpRegs, i, v.Int())
+		}
+	}
+}
+
+func loadModel(name string) *core.Machine {
+	if m, err := core.LoadBuiltin(name); err == nil {
+		return m
+	}
+	src, err := os.ReadFile(name)
+	fail(err)
+	m, err := core.LoadMachine(name, string(src))
+	fail(err)
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// lisa-stats prints the paper-§4 model-complexity statistics for a LISA
+// model (experiment E1): resources, operations, instructions, aliases,
+// source lines and lines per operation.
+//
+// Usage:
+//
+//	lisa-stats [-model simple16|c62x] [file.lisa]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golisa/internal/core"
+)
+
+func main() {
+	modelName := flag.String("model", "", "builtin model name (simple16, c62x, simd16)")
+	flag.Parse()
+
+	machines := map[string]*core.Machine{}
+	switch {
+	case *modelName != "":
+		m, err := core.LoadBuiltin(*modelName)
+		fail(err)
+		machines[*modelName] = m
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			fail(err)
+			name := strings.TrimSuffix(filepath.Base(path), ".lisa")
+			m, err := core.LoadMachine(name, string(src))
+			fail(err)
+			machines[name] = m
+		}
+	default:
+		for _, name := range []string{"simple16", "c62x", "simd16"} {
+			m, err := core.LoadBuiltin(name)
+			fail(err)
+			machines[name] = m
+		}
+	}
+
+	fmt.Printf("%-10s %9s %9s %10s %12s %7s %8s %8s\n",
+		"model", "resources", "pipelines", "operations", "instructions", "aliases", "lines", "lines/op")
+	for _, name := range sortedKeys(machines) {
+		st := machines[name].Stats()
+		fmt.Printf("%-10s %9d %9d %10d %12d %7d %8d %8.1f\n",
+			st.ModelName, st.Resources, st.Pipelines, st.Operations,
+			st.Instructions, st.Aliases, st.SourceLines, st.LinesPerOp)
+	}
+	fmt.Println("\npaper §4 reference (full TMS320C6201): 54 resources, 256 operations, 156 instructions + 8 aliases, 5362 lines (~21 lines/op)")
+}
+
+func sortedKeys(m map[string]*core.Machine) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	return keys
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-stats:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Retargetable code selection — the paper's stated future work (§5): the
+// SEMANTICS sections (kept distinct from BEHAVIOR exactly for compiler use)
+// drive a small code selector. The same expression IR compiles to both
+// shipped machines; each program is then assembled by that machine's
+// generated assembler and executed on its cycle-accurate simulator.
+//
+//	go run ./examples/retarget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"golisa"
+	"golisa/internal/codegen"
+)
+
+func main() {
+	// out = (a + b) * (c - 5), with a, b, c in data memory.
+	expr := codegen.Bin{Op: "mul",
+		L: codegen.Bin{Op: "add", L: codegen.Load{Addr: 10}, R: codegen.Load{Addr: 11}},
+		R: codegen.Bin{Op: "sub", L: codegen.Load{Addr: 12}, R: codegen.Const{Value: 5}},
+	}
+	stmts := []codegen.Stmt{{Addr: 500, X: expr}}
+
+	for _, target := range []string{"simple16", "c62x"} {
+		machine, err := golisa.LoadBuiltin(target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := codegen.New(machine.Model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		asmText, err := sel.Compile(stmts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n%s", target, asmText)
+
+		sim, _, err := machine.AssembleAndLoad(asmText, golisa.Compiled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for addr, v := range map[uint64]uint64{10: 7, 11: 3, 12: 9} {
+			if err := sim.SetMem("data_mem", addr, v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		steps, err := sim.Run(100000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _ := sim.Mem("data_mem", 500)
+		fmt.Printf("--> (7+3)*(9-5) = %d in %d cycles\n\n", out.Int(), steps)
+	}
+}

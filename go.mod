@@ -1,0 +1,3 @@
+module golisa
+
+go 1.22

@@ -1,0 +1,337 @@
+// Package asm implements the retargetable assembler and disassembler that
+// LISA generates from the SYNTAX and CODING sections of a model: assembly
+// statements are matched against the syntax trees to build bound instances
+// (then encoded to instruction words), and decoded instances are rendered
+// back to assembly text. The coding↔syntax label links form the translation
+// rules the paper describes (§3.2.1–§3.2.2).
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"golisa/internal/ast"
+	"golisa/internal/bitvec"
+	"golisa/internal/model"
+)
+
+// matcher matches one assembly statement against operation syntax trees.
+type matcher struct {
+	m *model.Model
+	// symbols resolves symbolic operands (labels) to numeric values; nil in
+	// the first pass, where unresolved symbols record fixups instead.
+	symbols map[string]uint64
+	// recordFixup is called for unresolved symbolic operands; returning
+	// false makes the reference an error (pass 2).
+	recordFixup func(sym string) bool
+}
+
+// matchState is the scan position within the statement text.
+type matchState struct {
+	text string
+	pos  int
+}
+
+func (st *matchState) skipSpace() {
+	for st.pos < len(st.text) && (st.text[st.pos] == ' ' || st.text[st.pos] == '\t') {
+		st.pos++
+	}
+}
+
+func (st *matchState) atEnd() bool {
+	st.skipSpace()
+	return st.pos >= len(st.text)
+}
+
+// matchLiteral matches a syntax string case-insensitively. Whitespace in the
+// input is allowed (and skipped) before the literal, but literals themselves
+// must appear contiguously.
+func (st *matchState) matchLiteral(lit string) bool {
+	// Literal spacing is presentational: matching is done on the trimmed
+	// text, and whitespace-only literals match anywhere.
+	lit = strings.TrimSpace(lit)
+	if lit == "" {
+		return true
+	}
+	st.skipSpace()
+	if st.pos+len(lit) > len(st.text) {
+		return false
+	}
+	if !strings.EqualFold(st.text[st.pos:st.pos+len(lit)], lit) {
+		return false
+	}
+	// A literal ending in an identifier character must not split a longer
+	// mnemonic in the input ("ADD" must not match "ADDI"). A digit may
+	// follow directly, though: register syntax concatenates a letter prefix
+	// with a numeric parameter ("A" index matches "A4").
+	end := st.pos + len(lit)
+	if isWordChar(lit[len(lit)-1]) && end < len(st.text) && isLetter(st.text[end]) {
+		return false
+	}
+	st.pos = end
+	return true
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// number scans an integer: decimal, hex (0x...), optional leading '-'.
+func (st *matchState) number(signed bool) (uint64, bool) {
+	st.skipSpace()
+	start := st.pos
+	neg := false
+	if signed && st.pos < len(st.text) && st.text[st.pos] == '-' {
+		neg = true
+		st.pos++
+	}
+	var v uint64
+	digits := 0
+	if st.pos+1 < len(st.text) && st.text[st.pos] == '0' && (st.text[st.pos+1] == 'x' || st.text[st.pos+1] == 'X') {
+		st.pos += 2
+		for st.pos < len(st.text) {
+			c := st.text[st.pos]
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				goto doneHex
+			}
+			v = v*16 + d
+			digits++
+			st.pos++
+		}
+	doneHex:
+	} else {
+		for st.pos < len(st.text) && st.text[st.pos] >= '0' && st.text[st.pos] <= '9' {
+			v = v*10 + uint64(st.text[st.pos]-'0')
+			digits++
+			st.pos++
+		}
+	}
+	if digits == 0 {
+		st.pos = start
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// symbol scans an identifier.
+func (st *matchState) symbol() (string, bool) {
+	st.skipSpace()
+	start := st.pos
+	if st.pos >= len(st.text) || !isSymStart(st.text[st.pos]) {
+		return "", false
+	}
+	for st.pos < len(st.text) && isWordChar(st.text[st.pos]) {
+		st.pos++
+	}
+	return st.text[start:st.pos], true
+}
+
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// matchOperation tries to match the statement against one operation,
+// returning a bound instance on success. Variants are tried in order; a
+// matching variant's guards bind the guarded group members.
+func (mt *matcher) matchOperation(op *model.Operation, st *matchState) (*model.Instance, bool, error) {
+	for _, v := range op.Variants {
+		if v.Syntax == nil {
+			continue
+		}
+		save := st.pos
+		in := model.NewInstance(op)
+		ok, err := mt.matchElems(op, in, v, st)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			st.pos = save
+			continue
+		}
+		// Bind guard-pinned group members that the syntax did not bind.
+		guardsOK := true
+		for _, g := range v.Guards {
+			if g.Negate {
+				// A negated guard cannot pin a member; if the group is
+				// unbound the variant is unusable for assembly.
+				if _, bound := in.Bindings[g.Group]; !bound {
+					guardsOK = false
+				}
+				continue
+			}
+			if existing, bound := in.Bindings[g.Group]; bound {
+				if existing.Op != g.Member {
+					guardsOK = false
+				}
+				continue
+			}
+			child := model.NewInstance(g.Member)
+			if err := child.ResolveVariant(); err != nil {
+				guardsOK = false
+				continue
+			}
+			in.Bindings[g.Group] = child
+		}
+		if !guardsOK {
+			st.pos = save
+			continue
+		}
+		in.Variant = v
+		return in, true, nil
+	}
+	return nil, false, nil
+}
+
+func (mt *matcher) matchElems(op *model.Operation, in *model.Instance, v *model.Variant, st *matchState) (bool, error) {
+	for _, e := range v.Syntax.Elems {
+		switch el := e.(type) {
+		case *ast.SyntaxString:
+			if !st.matchLiteral(el.Text) {
+				return false, nil
+			}
+		case *ast.SyntaxRef:
+			if op.Labels[el.Name] {
+				ok, err := mt.matchParam(op, in, el, st)
+				if err != nil || !ok {
+					return ok, err
+				}
+				continue
+			}
+			if g, isGroup := op.Groups[el.Name]; isGroup {
+				child, ok, err := mt.matchGroup(g, st)
+				if err != nil || !ok {
+					return ok, err
+				}
+				if existing, bound := in.Bindings[el.Name]; bound && existing.Op != child.Op {
+					return false, nil
+				}
+				in.Bindings[el.Name] = child
+				continue
+			}
+			if ref := mt.m.Ops[el.Name]; ref != nil {
+				child, ok, err := mt.matchOperation(ref, st)
+				if err != nil || !ok {
+					return ok, err
+				}
+				in.Bindings[el.Name] = child
+				continue
+			}
+			return false, fmt.Errorf("syntax of %s references unknown symbol %s", op.Name, el.Name)
+		}
+	}
+	return true, nil
+}
+
+// matchGroup tries the group's members in declaration order.
+func (mt *matcher) matchGroup(g *model.Group, st *matchState) (*model.Instance, bool, error) {
+	for _, mem := range g.Members {
+		save := st.pos
+		child, ok, err := mt.matchOperation(mem, st)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return child, true, nil
+		}
+		st.pos = save
+	}
+	return nil, false, nil
+}
+
+// matchParam parses a numeric (or symbolic) operand bound to a label.
+func (mt *matcher) matchParam(op *model.Operation, in *model.Instance, el *ast.SyntaxRef, st *matchState) (bool, error) {
+	width := labelWidth(op, el.Name)
+	signed := el.Format == "#s"
+	if v, ok := st.number(signed); ok {
+		if err := checkRange(op.Name, el.Name, v, width, signed); err != nil {
+			return false, err
+		}
+		in.Labels[el.Name] = bitvec.New(v, width)
+		return true, nil
+	}
+	if sym, ok := st.symbol(); ok {
+		if mt.symbols != nil {
+			if v, found := mt.symbols[sym]; found {
+				// Optional +offset / -offset on symbolic operands.
+				if st.pos < len(st.text) && (st.text[st.pos] == '+' || st.text[st.pos] == '-') {
+					neg := st.text[st.pos] == '-'
+					st.pos++
+					off, okNum := st.number(false)
+					if !okNum {
+						return false, fmt.Errorf("malformed offset after symbol %q", sym)
+					}
+					if neg {
+						v -= off
+					} else {
+						v += off
+					}
+				}
+				if err := checkRange(op.Name, el.Name, v, width, signed); err != nil {
+					return false, err
+				}
+				in.Labels[el.Name] = bitvec.New(v, width)
+				return true, nil
+			}
+		}
+		if mt.recordFixup != nil && mt.recordFixup(sym) {
+			in.Labels[el.Name] = bitvec.New(0, width)
+			return true, nil
+		}
+		return false, fmt.Errorf("undefined symbol %q", sym)
+	}
+	return false, nil
+}
+
+// labelWidth finds the coding-field width of a label within the operation.
+func labelWidth(op *model.Operation, label string) int {
+	for _, v := range op.Variants {
+		if v.Coding == nil {
+			continue
+		}
+		for _, e := range v.Coding.Elems {
+			if f, ok := e.(*ast.CodingField); ok && f.Label == label {
+				return len(f.Bits)
+			}
+		}
+	}
+	return 64
+}
+
+// checkRange verifies the operand value fits the field width.
+func checkRange(opName, label string, v uint64, width int, signed bool) error {
+	if width >= 64 {
+		return nil
+	}
+	if signed {
+		iv := int64(v)
+		max := int64(bitvec.Mask(width - 1))
+		min := -max - 1
+		if iv >= min && iv <= max {
+			return nil
+		}
+		return fmt.Errorf("%s: operand %s value %d does not fit in %d signed bits", opName, label, iv, width)
+	}
+	if v > bitvec.Mask(width) {
+		// Accept negative two's complement spellings of unsigned fields.
+		if int64(v) < 0 && -int64(v) <= int64(bitvec.Mask(width-1))+1 {
+			return nil
+		}
+		return fmt.Errorf("%s: operand %s value %d does not fit in %d bits", opName, label, v, width)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package ast
+
+import "golisa/internal/lexer"
+
+// Stmt is a behavior-language statement. Concrete types: *Block, *DeclStmt,
+// *ExprStmt, *AssignStmt, *IncDecStmt, *IfStmt, *WhileStmt, *DoWhileStmt,
+// *ForStmt, *SwitchStmt, *BreakStmt, *ContinueStmt, *ReturnStmt, *EmptyStmt.
+type Stmt interface{ stmtNode() }
+
+// Block is a braced statement list with its own local-variable scope.
+type Block struct {
+	Pos   lexer.Pos
+	Stmts []Stmt
+}
+
+func (*Block) stmtNode() {}
+
+// DeclStmt declares a local variable, optionally initialized:
+// int acc = 0;  bit[40] t;
+type DeclStmt struct {
+	Pos  lexer.Pos
+	Type TypeSpec
+	Name string
+	Init Expr // may be nil
+}
+
+func (*DeclStmt) stmtNode() {}
+
+// ExprStmt evaluates an expression for its side effects (operation calls).
+type ExprStmt struct {
+	Pos lexer.Pos
+	X   Expr
+}
+
+func (*ExprStmt) stmtNode() {}
+
+// AssignStmt is lhs op rhs where op is one of = += -= *= /= %= &= |= ^= <<= >>=.
+type AssignStmt struct {
+	Pos lexer.Pos
+	LHS Expr
+	Op  string
+	RHS Expr
+}
+
+func (*AssignStmt) stmtNode() {}
+
+// IncDecStmt is x++ or x-- used as a statement.
+type IncDecStmt struct {
+	Pos lexer.Pos
+	X   Expr
+	Op  string // "++" or "--"
+}
+
+func (*IncDecStmt) stmtNode() {}
+
+// IfStmt is if (cond) then [else].
+type IfStmt struct {
+	Pos  lexer.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (*IfStmt) stmtNode() {}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Pos  lexer.Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (*WhileStmt) stmtNode() {}
+
+// DoWhileStmt is do body while (cond);
+type DoWhileStmt struct {
+	Pos  lexer.Pos
+	Body Stmt
+	Cond Expr
+}
+
+func (*DoWhileStmt) stmtNode() {}
+
+// ForStmt is for (init; cond; post) body. Any of the three may be nil.
+type ForStmt struct {
+	Pos  lexer.Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+func (*ForStmt) stmtNode() {}
+
+// SwitchStmt is a run-time switch on an integer tag. Cases do not fall
+// through (each case body is a block; break is accepted and redundant),
+// which matches how LISA models use switch.
+type SwitchStmt struct {
+	Pos   lexer.Pos
+	Tag   Expr
+	Cases []SwitchCase
+}
+
+func (*SwitchStmt) stmtNode() {}
+
+// SwitchCase is one case (or default) arm of a SwitchStmt.
+type SwitchCase struct {
+	Vals    []Expr
+	Stmts   []Stmt
+	Default bool
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Pos lexer.Pos }
+
+func (*BreakStmt) stmtNode() {}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos lexer.Pos }
+
+func (*ContinueStmt) stmtNode() {}
+
+// ReturnStmt exits the operation's behavior early.
+type ReturnStmt struct {
+	Pos lexer.Pos
+	X   Expr // may be nil
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos lexer.Pos }
+
+func (*EmptyStmt) stmtNode() {}
+
+// Expr is a behavior-language expression. Concrete types: *NumLit, *StrLit,
+// *Ident, *IndexExpr, *BitsExpr, *CallExpr, *UnaryExpr, *BinaryExpr,
+// *CondExpr.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Pos lexer.Pos
+	Val uint64
+}
+
+func (*NumLit) exprNode() {}
+
+// StrLit is a string literal (only meaningful as a print argument).
+type StrLit struct {
+	Pos lexer.Pos
+	Val string
+}
+
+func (*StrLit) exprNode() {}
+
+// Ident names a local variable, a resource, a label, a group or an operation
+// reference; resolution happens at execution/bind time.
+type Ident struct {
+	Pos  lexer.Pos
+	Name string
+}
+
+func (*Ident) exprNode() {}
+
+// IndexExpr is x[i] — array/memory element access.
+type IndexExpr struct {
+	Pos lexer.Pos
+	X   Expr
+	I   Expr
+}
+
+func (*IndexExpr) exprNode() {}
+
+// BitsExpr is x<hi..lo> — bit-slice access on a resource or variable.
+type BitsExpr struct {
+	Pos lexer.Pos
+	X   Expr
+	Hi  Expr
+	Lo  Expr
+}
+
+func (*BitsExpr) exprNode() {}
+
+// CallExpr is name(args...). The callee may be a dotted path (e.g.
+// fetch_pipe.DP.stall) naming a pipeline built-in, a behavior builtin
+// (abs, min, max, saturate, sign_extend, zero_extend, print, ...), or an
+// operation/group invocation.
+type CallExpr struct {
+	Pos  lexer.Pos
+	Name string
+	Args []Expr
+}
+
+func (*CallExpr) exprNode() {}
+
+// UnaryExpr is op x for op in - + ! ~.
+type UnaryExpr struct {
+	Pos lexer.Pos
+	Op  string
+	X   Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// BinaryExpr is l op r with C semantics and precedence.
+type BinaryExpr struct {
+	Pos lexer.Pos
+	Op  string
+	L   Expr
+	R   Expr
+}
+
+func (*BinaryExpr) exprNode() {}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Pos lexer.Pos
+	C   Expr
+	T   Expr
+	F   Expr
+}
+
+func (*CondExpr) exprNode() {}

@@ -1,0 +1,238 @@
+package behavior
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"golisa/internal/bitvec"
+	"golisa/internal/model"
+	"golisa/internal/parser"
+	"golisa/internal/sema"
+)
+
+// runBoth executes the same operation through the interpreter and the
+// pre-binding compiler on separate states and compares every resource.
+func runBoth(t *testing.T, src, opName string) {
+	t.Helper()
+	d, perrs := parser.Parse(src, "compile_test.lisa")
+	for _, e := range perrs {
+		t.Fatalf("parse: %v", e)
+	}
+	m, errs := sema.Build("compile-test", d)
+	for _, e := range errs {
+		t.Fatalf("sema: %v", e)
+	}
+	sInterp := model.NewState(m)
+	sComp := model.NewState(m)
+	xi := &Exec{M: m, S: sInterp}
+	xc := &Exec{M: m, S: sComp}
+	in1 := model.NewInstance(m.Ops[opName])
+	in2 := model.NewInstance(m.Ops[opName])
+	errI := xi.Run(in1)
+	errC := RunCompiled(xc, in2)
+	if (errI == nil) != (errC == nil) {
+		t.Fatalf("error divergence: interp=%v compiled=%v", errI, errC)
+	}
+	if errI != nil {
+		return
+	}
+	if eq, diff := sInterp.Equal(sComp); !eq {
+		t.Errorf("state divergence at %s\nprogram:\n%s", diff, src)
+	}
+}
+
+const compileRegs = `
+RESOURCE {
+  REGISTER int r0; REGISTER int r1; REGISTER int r2; REGISTER int r3;
+  REGISTER bit[8] small;
+  REGISTER bit[40] wide;
+  DATA_MEMORY int mem[32];
+}
+`
+
+func TestCompiledMatchesInterpreterBasics(t *testing.T) {
+	bodies := []string{
+		`r0 = 1 + 2 * 3;`,
+		`int i; for (i = 0; i < 10; i++) { r0 += i; } r1 = r0 >> 1;`,
+		`r0 = -5; r1 = r0 / 2; r2 = r0 % 3; r3 = abs(r0);`,
+		`small = 250; small += 10; r0 = small;`,
+		`wide = 0xffffffffff; wide = wide + 1; r0 = wide == 0;`,
+		`int i = 0; while (i < 8) { mem[i] = i * i; i++; } r0 = mem[7];`,
+		`int i = 0; do { i++; if (i == 3) continue; if (i > 6) break; r0 += i; } while (1);`,
+		`switch (4) { case 1: r0 = 1; case 4, 5: r0 = 45; break; default: r0 = 9; }`,
+		`r0 = 0xabcd; r1 = r0[15..8]; r0[7..0] = 0x12;`,
+		`r0 = saturate(300, 8); r1 = sign_extend(0x80, 8); r2 = zero_extend(0xfff, 8);`,
+		`r0 = min(3, max(7, 2)); r1 = addsat(0x7fffffff, 1); r2 = subsat(-2147483647, 100);`,
+		`r0 = (1 == 1) && (2 > 1) || (3 < 2); r1 = !r0; r2 = ~0;`,
+		`r0 = 7; r0 <<= 2; r0 |= 1; r0 ^= 0xf; r0 &= 0xff; r0 >>= 1;`,
+		`r0 = bits(0xdeadbeef, 15, 8);`,
+		`r0 = 1 ? 10 : 20; r1 = 0 ? 10 : 20;`,
+		`if (r0 == 0) { r1 = 1; } else { r1 = 2; }`,
+		`return; r0 = 99;`,
+	}
+	for i, body := range bodies {
+		t.Run(fmt.Sprintf("body%d", i), func(t *testing.T) {
+			runBoth(t, compileRegs+"\nOPERATION op { BEHAVIOR { "+body+" } }", "op")
+		})
+	}
+}
+
+// TestCompiledMatchesInterpreterRandom generates random straight-line
+// arithmetic programs and checks interpreter/compiler equivalence — the
+// differential-testing analog of the paper's simulator verification.
+func TestCompiledMatchesInterpreterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	regs := []string{"r0", "r1", "r2", "r3", "small", "wide"}
+	binops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%"}
+	randExpr := func(depth int) string {
+		var gen func(d int) string
+		gen = func(d int) string {
+			if d == 0 || rng.Intn(3) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					return fmt.Sprintf("%d", rng.Intn(1000)-500)
+				case 1:
+					return regs[rng.Intn(len(regs))]
+				default:
+					return fmt.Sprintf("mem[%d]", rng.Intn(32))
+				}
+			}
+			op := binops[rng.Intn(len(binops))]
+			if op == "<<" || op == ">>" {
+				return fmt.Sprintf("(%s %s %d)", gen(d-1), op, rng.Intn(16))
+			}
+			return fmt.Sprintf("(%s %s %s)", gen(d-1), op, gen(d-1))
+		}
+		return gen(depth)
+	}
+	for trial := 0; trial < 60; trial++ {
+		var body string
+		for stmt := 0; stmt < 6; stmt++ {
+			switch rng.Intn(3) {
+			case 0:
+				body += fmt.Sprintf("%s = %s;\n", regs[rng.Intn(len(regs))], randExpr(3))
+			case 1:
+				body += fmt.Sprintf("mem[%d] = %s;\n", rng.Intn(32), randExpr(2))
+			default:
+				body += fmt.Sprintf("if (%s > %d) { %s = %s; }\n",
+					regs[rng.Intn(len(regs))], rng.Intn(100)-50,
+					regs[rng.Intn(len(regs))], randExpr(2))
+			}
+		}
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			runBoth(t, compileRegs+"\nOPERATION op { BEHAVIOR {\n"+body+"} }", "op")
+		})
+	}
+}
+
+func TestCompiledLabelFolding(t *testing.T) {
+	// Labels become constants in compiled mode; verify a decoded operand
+	// expression (A[index]) behaves identically.
+	src := `
+RESOURCE { REGISTER int A[16]; REGISTER int out; }
+OPERATION reg {
+  DECLARE { LABEL index; }
+  CODING { index:0bx[4] }
+  EXPRESSION { A[index] }
+}
+OPERATION use {
+  DECLARE { GROUP Src = { reg }; }
+  CODING { Src }
+  BEHAVIOR { out = Src + 1; Src = 9; }
+}
+`
+	d, perrs := parser.Parse(src, "t")
+	if len(perrs) > 0 {
+		t.Fatal(perrs[0])
+	}
+	m, errs := sema.Build("t", d)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	mk := func() *model.Instance {
+		in := model.NewInstance(m.Ops["use"])
+		child := model.NewInstance(m.Ops["reg"])
+		child.Labels["index"] = bitvec.New(5, 4)
+		in.Bindings["Src"] = child
+		return in
+	}
+	s1, s2 := model.NewState(m), model.NewState(m)
+	_ = s1.WriteElem(m.Resource("A"), 5, bitvec.FromInt(41, 32))
+	_ = s2.WriteElem(m.Resource("A"), 5, bitvec.FromInt(41, 32))
+	if err := (&Exec{M: m, S: s1}).Run(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunCompiled(&Exec{M: m, S: s2}, mk()); err != nil {
+		t.Fatal(err)
+	}
+	if eq, diff := s1.Equal(s2); !eq {
+		t.Fatalf("divergence at %s", diff)
+	}
+	out := s1.Read(m.Resource("out"))
+	if out.Int() != 42 {
+		t.Errorf("out = %d", out.Int())
+	}
+	v, _ := s1.ReadElem(m.Resource("A"), 5)
+	if v.Int() != 9 {
+		t.Errorf("write through EXPRESSION lvalue: %d", v.Int())
+	}
+}
+
+func TestCompiledCondCache(t *testing.T) {
+	d, _ := parser.Parse(compileRegs+`OPERATION op { BEHAVIOR { ; } }`, "t")
+	m, errs := sema.Build("t", d)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	x := &Exec{M: m, S: model.NewState(m)}
+	in := model.NewInstance(m.Ops["op"])
+	cond := mustExpr(t, "r0 + 1 > 0")
+	for i := 0; i < 3; i++ {
+		got, err := x.EvalCondCompiled(in, cond)
+		if err != nil || !got {
+			t.Fatalf("EvalCondCompiled: %v %v", got, err)
+		}
+	}
+	if len(x.conds) != 1 {
+		t.Errorf("condition cache has %d entries, want 1", len(x.conds))
+	}
+	v, err := x.EvalValueCompiled(in, cond)
+	if err != nil || v.Uint() != 1 {
+		t.Errorf("EvalValueCompiled: %v %v", v, err)
+	}
+}
+
+func TestCompiledErrors(t *testing.T) {
+	cases := []string{
+		`r0 = nosuch;`,
+		`nosuchfn(1);`,
+		`r0 = mem;`,
+	}
+	for _, body := range cases {
+		d, perrs := parser.Parse(compileRegs+"\nOPERATION op { BEHAVIOR { "+body+" } }", "t")
+		if len(perrs) > 0 {
+			t.Fatal(perrs[0])
+		}
+		m, errs := sema.Build("t", d)
+		if len(errs) > 0 {
+			t.Fatal(errs[0])
+		}
+		x := &Exec{M: m, S: model.NewState(m)}
+		if err := RunCompiled(x, model.NewInstance(m.Ops["op"])); err == nil {
+			t.Errorf("compile of %q should fail", body)
+		}
+	}
+}
+
+func TestCompiledRunawayBudget(t *testing.T) {
+	d, _ := parser.Parse(compileRegs+`OPERATION op { BEHAVIOR { while (1) { r0 = r0; } } }`, "t")
+	m, errs := sema.Build("t", d)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	x := &Exec{M: m, S: model.NewState(m), Budget: 500}
+	if err := RunCompiled(x, model.NewInstance(m.Ops["op"])); err == nil {
+		t.Error("runaway loop not caught in compiled mode")
+	}
+}

@@ -1,0 +1,305 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    int
+		want uint64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {4, 0xf}, {8, 0xff}, {16, 0xffff},
+		{32, 0xffffffff}, {48, 0xffffffffffff}, {63, 0x7fffffffffffffff},
+		{64, ^uint64(0)}, {99, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestNewClampsWidth(t *testing.T) {
+	if got := New(0xff, 0).Width(); got != 1 {
+		t.Errorf("width 0 clamped to %d, want 1", got)
+	}
+	if got := New(0xff, 200).Width(); got != 64 {
+		t.Errorf("width 200 clamped to %d, want 64", got)
+	}
+	if got := New(0x1ff, 8).Uint(); got != 0xff {
+		t.Errorf("New truncation: got %#x, want 0xff", got)
+	}
+}
+
+func TestIntSignExtension(t *testing.T) {
+	cases := []struct {
+		raw  uint64
+		w    int
+		want int64
+	}{
+		{0x80, 8, -128},
+		{0x7f, 8, 127},
+		{0xffff, 16, -1},
+		{0x8000, 16, -32768},
+		{1, 1, -1},
+		{0, 1, 0},
+		{0xffffffffffffffff, 64, -1},
+		{0x800000000000, 48, -140737488355328},
+	}
+	for _, c := range cases {
+		if got := New(c.raw, c.w).Int(); got != c.want {
+			t.Errorf("New(%#x,%d).Int() = %d, want %d", c.raw, c.w, got, c.want)
+		}
+	}
+}
+
+func TestFromIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		return FromInt(v, 64).Int() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithmeticWraps(t *testing.T) {
+	a := New(0xff, 8)
+	b := New(1, 8)
+	if got := Add(a, b).Uint(); got != 0 {
+		t.Errorf("0xff+1 at 8 bits = %#x, want 0", got)
+	}
+	if got := Sub(New(0, 8), b).Uint(); got != 0xff {
+		t.Errorf("0-1 at 8 bits = %#x, want 0xff", got)
+	}
+	if got := Mul(New(16, 8), New(16, 8)).Uint(); got != 0 {
+		t.Errorf("16*16 at 8 bits = %#x, want 0", got)
+	}
+}
+
+func TestWidening(t *testing.T) {
+	a := New(0xff, 8)
+	b := New(0x100, 16)
+	s := Add(a, b)
+	if s.Width() != 16 || s.Uint() != 0x1ff {
+		t.Errorf("mixed-width add = %v, want 0x1ff at 16", s)
+	}
+}
+
+func TestDivRem(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		w    int
+		q, r int64
+	}{
+		{7, 2, 16, 3, 1},
+		{-7, 2, 16, -3, -1},
+		{7, -2, 16, -3, 1},
+		{-128, -1, 8, -128, 0}, // wraps like hardware
+	}
+	for _, c := range cases {
+		q := DivS(FromInt(c.a, c.w), FromInt(c.b, c.w))
+		r := RemS(FromInt(c.a, c.w), FromInt(c.b, c.w))
+		if q.Int() != c.q || r.Int() != c.r {
+			t.Errorf("%d/%d at %d = (%d,%d), want (%d,%d)", c.a, c.b, c.w, q.Int(), r.Int(), c.q, c.r)
+		}
+	}
+	if got := DivS(New(5, 8), New(0, 8)); got.Uint() != 0xff {
+		t.Errorf("div by zero = %v, want all-ones", got)
+	}
+	if got := RemS(New(5, 8), New(0, 8)); !got.IsZero() {
+		t.Errorf("rem by zero = %v, want 0", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	v := New(0x81, 8)
+	if got := Shl(v, 1).Uint(); got != 0x02 {
+		t.Errorf("shl: %#x", got)
+	}
+	if got := ShrU(v, 1).Uint(); got != 0x40 {
+		t.Errorf("shru: %#x", got)
+	}
+	if got := ShrS(v, 1).Uint(); got != 0xc0 {
+		t.Errorf("shrs: %#x", got)
+	}
+	if got := Shl(v, 8).Uint(); got != 0 {
+		t.Errorf("shl overflow: %#x", got)
+	}
+	if got := ShrU(v, 64).Uint(); got != 0 {
+		t.Errorf("shru overflow: %#x", got)
+	}
+	if got := ShrS(New(0x80, 8), 100).Uint(); got != 0xff {
+		t.Errorf("shrs saturating shift: %#x, want 0xff", got)
+	}
+}
+
+func TestSliceInsert(t *testing.T) {
+	v := New(0xabcd, 16)
+	if got := v.Slice(15, 8).Uint(); got != 0xab {
+		t.Errorf("slice hi byte: %#x", got)
+	}
+	if got := v.Slice(7, 0).Uint(); got != 0xcd {
+		t.Errorf("slice lo byte: %#x", got)
+	}
+	if got := v.Slice(0, 7).Uint(); got != 0xcd { // reversed bounds tolerated
+		t.Errorf("reversed slice: %#x", got)
+	}
+	if got := v.InsertSlice(15, 8, 0x12).Uint(); got != 0x12cd {
+		t.Errorf("insert: %#x", got)
+	}
+	if got := v.InsertSlice(3, 0, 0xff).Uint(); got != 0xabcf {
+		t.Errorf("insert lo: %#x", got)
+	}
+}
+
+func TestSlicePropertyRoundTrip(t *testing.T) {
+	f := func(raw uint64, hi8, lo8 uint8) bool {
+		hi := int(hi8 % 48)
+		lo := int(lo8 % 48)
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		v := New(raw, 48)
+		part := v.Slice(hi, lo)
+		back := v.InsertSlice(hi, lo, part.Uint())
+		return back.Uint() == v.Uint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	v := New(0, 8)
+	v = v.SetBit(3, 1)
+	if v.Uint() != 8 || v.Bit(3) != 1 || v.Bit(2) != 0 {
+		t.Errorf("setbit: %v", v)
+	}
+	v = v.SetBit(3, 0)
+	if !v.IsZero() {
+		t.Errorf("clearbit: %v", v)
+	}
+	if v.Bit(100) != 0 {
+		t.Error("out-of-range bit should read 0")
+	}
+	if got := v.SetBit(100, 1); got.Uint() != 0 {
+		t.Error("out-of-range setbit should be ignored")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	v := New(0x00ff, 16)
+	if got := SignExtend(v, 8).Uint(); got != 0xffff {
+		t.Errorf("sign_extend(0xff,8) at 16 = %#x", got)
+	}
+	if got := SignExtend(v, 9).Uint(); got != 0x00ff {
+		t.Errorf("sign_extend(0xff,9) at 16 = %#x", got)
+	}
+	if got := ZeroExtend(New(0xffff, 16), 8).Uint(); got != 0xff {
+		t.Errorf("zero_extend = %#x", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	if got := SatS(FromInt(300, 32), 8).Int(); got != 127 {
+		t.Errorf("sat 300→8 = %d, want 127", got)
+	}
+	if got := SatS(FromInt(-300, 32), 8).Int(); got != -128 {
+		t.Errorf("sat -300→8 = %d, want -128", got)
+	}
+	if got := SatS(FromInt(5, 32), 8).Int(); got != 5 {
+		t.Errorf("sat 5→8 = %d, want 5", got)
+	}
+	if got := AddSat(FromInt(0x7fff, 16), FromInt(1, 16)).Int(); got != 0x7fff {
+		t.Errorf("addsat overflow = %d, want 32767", got)
+	}
+	if got := SubSat(FromInt(-0x8000, 16), FromInt(1, 16)).Int(); got != -0x8000 {
+		t.Errorf("subsat underflow = %d", got)
+	}
+	if got := AddSat(FromInt(2, 16), FromInt(3, 16)).Int(); got != 5 {
+		t.Errorf("addsat normal = %d", got)
+	}
+}
+
+func TestSaturationProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		got := AddSat(FromInt(int64(a), 32), FromInt(int64(b), 32)).Int()
+		want := int64(a) + int64(b)
+		if want > 0x7fffffff {
+			want = 0x7fffffff
+		}
+		if want < -0x80000000 {
+			want = -0x80000000
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := New(0xff, 8) // -1 signed, 255 unsigned
+	b := New(1, 8)
+	if CmpS(a, b) != -1 {
+		t.Error("signed compare: 0xff should be < 1")
+	}
+	if CmpU(a, b) != 1 {
+		t.Error("unsigned compare: 0xff should be > 1")
+	}
+	if CmpS(b, b) != 0 || CmpU(b, b) != 0 {
+		t.Error("self compare should be 0")
+	}
+	if !Eq(New(5, 8), New(5, 32)) {
+		t.Error("Eq ignores width")
+	}
+}
+
+func TestAbsNegNot(t *testing.T) {
+	if got := Abs(FromInt(-5, 16)).Int(); got != 5 {
+		t.Errorf("abs(-5) = %d", got)
+	}
+	if got := Abs(FromInt(5, 16)).Int(); got != 5 {
+		t.Errorf("abs(5) = %d", got)
+	}
+	if got := Abs(FromInt(-128, 8)).Int(); got != -128 {
+		t.Errorf("abs(min) should wrap: %d", got)
+	}
+	if got := Neg(New(1, 8)).Uint(); got != 0xff {
+		t.Errorf("neg: %#x", got)
+	}
+	if got := Not(New(0xf0, 8)).Uint(); got != 0x0f {
+		t.Errorf("not: %#x", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	v := New(42, 16)
+	if got := v.String(); got != "0x002a:16" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(5, 4).BinString(); got != "0101" {
+		t.Errorf("BinString = %q", got)
+	}
+	if got := FromBool(true).Uint(); got != 1 {
+		t.Errorf("FromBool(true) = %d", got)
+	}
+	if got := FromBool(false).Uint(); got != 0 {
+		t.Errorf("FromBool(false) = %d", got)
+	}
+}
+
+func TestResize(t *testing.T) {
+	v := New(0xff, 8)
+	if got := v.Resize(16).Uint(); got != 0xff {
+		t.Errorf("zero-extend resize: %#x", got)
+	}
+	if got := v.SignResize(16).Uint(); got != 0xffff {
+		t.Errorf("sign resize: %#x", got)
+	}
+	if got := New(0x1234, 16).Resize(8).Uint(); got != 0x34 {
+		t.Errorf("truncating resize: %#x", got)
+	}
+}

@@ -1,0 +1,412 @@
+// Package codegen implements a small retargetable code selector driven by
+// the SEMANTICS sections of a LISA model — the paper's stated future work
+// ("the goal of the ongoing language design is to address retargetable
+// compiler back-ends as well", §5) and the reason LISA keeps SEMANTICS
+// distinct from BEHAVIOR (§3).
+//
+// The selector consumes a tiny expression IR and emits assembly text for
+// whatever machine the loaded model describes: instructions are found by
+// matching their declared semantics patterns ("ADD dst, src1, src2",
+// "LDI dst, imm", "LD dst, [base+offset]", ...), and the emitted statement
+// is rendered through the instruction's own SYNTAX section, so the output
+// assembles on the generated assembler unchanged.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"golisa/internal/ast"
+	"golisa/internal/model"
+)
+
+// --- IR ---------------------------------------------------------------------------
+
+// Expr is an expression of the selector's input IR.
+type Expr interface{ irNode() }
+
+// Const is an integer literal.
+type Const struct{ Value int64 }
+
+func (Const) irNode() {}
+
+// Load reads data memory at a constant address.
+type Load struct{ Addr uint64 }
+
+func (Load) irNode() {}
+
+// Bin is a binary operation: one of "add", "sub", "mul", "and", "or", "xor".
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+func (Bin) irNode() {}
+
+// Stmt is a statement of the selector's input IR.
+type Stmt struct {
+	// Store writes the expression's value to data memory at Addr.
+	Addr uint64
+	X    Expr
+}
+
+// --- semantics patterns --------------------------------------------------------------
+
+// pattern is a parsed SEMANTICS section: an uppercase semantic opcode plus
+// operand role names in order of appearance.
+type pattern struct {
+	op    *model.Operation
+	sem   string   // semantic opcode, e.g. "ADD"
+	roles []string // normalized role names: dst, src1, src2, imm, base, offset
+}
+
+// roleAliases normalizes the operand role spellings used in SEMANTICS text.
+var roleAliases = map[string]string{
+	"dst": "dst", "dest": "dst", "d": "dst",
+	"src1": "src1", "s1": "src1",
+	"src2": "src2", "s2": "src2",
+	"src": "src1", "src_1": "src1",
+	"imm": "imm", "immediate": "imm",
+	"base": "base", "offset": "offset", "target": "target", "count": "count",
+}
+
+// parsePattern extracts the semantic pattern of one operation, or ok=false
+// when the operation has no usable semantics.
+func parsePattern(op *model.Operation) (pattern, bool) {
+	for _, v := range op.Variants {
+		if v.Semantics == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(v.Semantics, func(r rune) bool {
+			return r == ' ' || r == ',' || r == '[' || r == ']' || r == '+' || r == '*'
+		})
+		if len(fields) == 0 {
+			continue
+		}
+		p := pattern{op: op, sem: strings.ToUpper(fields[0])}
+		for _, f := range fields[1:] {
+			if norm, ok := roleAliases[strings.ToLower(f)]; ok {
+				p.roles = append(p.roles, norm)
+			}
+		}
+		return p, true
+	}
+	return pattern{}, false
+}
+
+// --- selector --------------------------------------------------------------------------
+
+// irToSem maps IR binary operators to semantic opcodes.
+var irToSem = map[string]string{
+	"add": "ADD", "sub": "SUB", "mul": "MPY",
+	"and": "AND", "or": "OR", "xor": "XOR",
+}
+
+// Selector emits assembly for one machine model.
+type Selector struct {
+	m *model.Model
+
+	// bySem indexes instruction patterns by semantic opcode; the first
+	// declared non-alias instruction wins.
+	bySem map[string]pattern
+
+	// register pool: the member operation used for register operands and
+	// the indices still free.
+	free []string
+
+	lines []string
+}
+
+// New builds a selector for the model. The model must declare register
+// operands through an operation with an EXPRESSION section (the nml-mode
+// pattern); registers are spelled through that operation's syntax.
+func New(m *model.Model) (*Selector, error) {
+	s := &Selector{m: m, bySem: map[string]pattern{}}
+	var root *model.Operation
+	for _, op := range m.OpList {
+		if op.IsCodingRoot {
+			root = op
+			break
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("model %s has no coding root", m.Name)
+	}
+	for _, g := range root.Groups {
+		for _, op := range g.Members {
+			if op.Alias {
+				continue
+			}
+			if p, ok := parsePattern(op); ok {
+				if _, dup := s.bySem[p.sem]; !dup {
+					s.bySem[p.sem] = p
+				}
+			}
+		}
+	}
+	// Register pool: spell A1..A15, B1..B15 (A0/B0 reserved as zero-ish
+	// scratch the selector never allocates).
+	for i := 15; i >= 1; i-- {
+		s.free = append(s.free, fmt.Sprintf("B%d", i))
+	}
+	for i := 15; i >= 1; i-- {
+		s.free = append(s.free, fmt.Sprintf("A%d", i))
+	}
+	return s, nil
+}
+
+func (s *Selector) alloc() (string, error) {
+	if len(s.free) == 0 {
+		return "", fmt.Errorf("register pool exhausted (expression too deep for this toy allocator)")
+	}
+	r := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	return r, nil
+}
+
+func (s *Selector) release(r string) { s.free = append(s.free, r) }
+
+// emit renders one instruction through its SYNTAX with the role→operand
+// binding and appends it to the program.
+func (s *Selector) emit(p pattern, operands map[string]string) error {
+	v := p.op.Variants[0]
+	if v.Syntax == nil {
+		return fmt.Errorf("instruction %s has no syntax", p.op.Name)
+	}
+	var sb strings.Builder
+	for _, e := range v.Syntax.Elems {
+		switch el := e.(type) {
+		case *ast.SyntaxString:
+			sb.WriteString(el.Text)
+		case *ast.SyntaxRef:
+			// Operand references bind to semantics roles by their declared
+			// name (Dest→dst, Src1→src1, offset→offset, …); non-operand
+			// references (unit selectors, parallel markers) render as a
+			// fixed member's syntax.
+			if s.isOperandRef(p.op, el.Name) {
+				role, known := roleAliases[strings.ToLower(el.Name)]
+				if !known {
+					return fmt.Errorf("instruction %s: operand %s has no semantics role", p.op.Name, el.Name)
+				}
+				val, ok := operands[role]
+				if !ok {
+					return fmt.Errorf("instruction %s: no operand for role %s", p.op.Name, role)
+				}
+				if sb.Len() > 0 && isWordByte(sb.String()[sb.Len()-1]) {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(val)
+			} else {
+				sb.WriteString(s.fixedRefText(p.op, el.Name))
+			}
+		}
+	}
+	s.lines = append(s.lines, strings.TrimSpace(sb.String()))
+	return nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == ','
+}
+
+// isOperandRef reports whether a syntax reference is an operand: a label of
+// the operation or a group containing an EXPRESSION-carrying operation
+// (a register operand).
+func (s *Selector) isOperandRef(op *model.Operation, name string) bool {
+	if op.Labels[name] {
+		return true
+	}
+	if g, ok := op.Groups[name]; ok {
+		for _, mem := range g.Members {
+			for _, v := range mem.Variants {
+				if v.Expression != nil {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// fixedRefText renders a non-operand reference (unit selector, parallel
+// marker). A member whose syntax is empty (e.g. the serial no-marker
+// alternative) is preferred; otherwise the first member's literal syntax is
+// used (e.g. ".L1 ").
+func (s *Selector) fixedRefText(op *model.Operation, name string) string {
+	g, ok := op.Groups[name]
+	if !ok || len(g.Members) == 0 {
+		return ""
+	}
+	memberText := func(mem *model.Operation) (string, bool) {
+		for _, v := range mem.Variants {
+			if v.Syntax == nil {
+				continue
+			}
+			var sb strings.Builder
+			for _, e := range v.Syntax.Elems {
+				if str, ok := e.(*ast.SyntaxString); ok {
+					sb.WriteString(str.Text)
+				}
+			}
+			return sb.String(), true
+		}
+		return "", false
+	}
+	for _, mem := range g.Members {
+		if text, ok := memberText(mem); ok && strings.TrimSpace(text) == "" {
+			return ""
+		}
+	}
+	text, _ := memberText(g.Members[0])
+	return text
+}
+
+// need returns the pattern for a semantic opcode.
+func (s *Selector) need(sem string) (pattern, error) {
+	p, ok := s.bySem[sem]
+	if !ok {
+		return pattern{}, fmt.Errorf("model %s has no instruction with semantics %s", s.m.Name, sem)
+	}
+	return p, nil
+}
+
+// genExpr emits code computing e and returns the register holding it.
+func (s *Selector) genExpr(e Expr) (string, error) {
+	switch x := e.(type) {
+	case Const:
+		r, err := s.alloc()
+		if err != nil {
+			return "", err
+		}
+		p, err := s.need("LDI")
+		if err != nil {
+			// MVK is the c62x spelling of load-immediate.
+			if p, err = s.need("MVK"); err != nil {
+				return "", err
+			}
+		}
+		return r, s.emit(p, map[string]string{"dst": r, "imm": fmt.Sprintf("%d", x.Value)})
+	case Load:
+		base, err := s.alloc()
+		if err != nil {
+			return "", err
+		}
+		ldi, err := s.need("LDI")
+		if err != nil {
+			if ldi, err = s.need("MVK"); err != nil {
+				return "", err
+			}
+		}
+		if err := s.emit(ldi, map[string]string{"dst": base, "imm": fmt.Sprintf("%d", x.Addr)}); err != nil {
+			return "", err
+		}
+		p, err := s.need("LD")
+		if err != nil {
+			if p, err = s.need("LDW"); err != nil {
+				return "", err
+			}
+		}
+		r, err := s.alloc()
+		if err != nil {
+			return "", err
+		}
+		if err := s.emit(p, map[string]string{"dst": r, "base": base, "offset": "0"}); err != nil {
+			return "", err
+		}
+		s.release(base)
+		// The load has delay slots on every shipped model; pad
+		// conservatively so the value is architecturally visible.
+		s.padLoadDelay()
+		return r, nil
+	case Bin:
+		sem, ok := irToSem[x.Op]
+		if !ok {
+			return "", fmt.Errorf("unknown IR operator %q", x.Op)
+		}
+		p, err := s.need(sem)
+		if err != nil {
+			return "", err
+		}
+		l, err := s.genExpr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := s.genExpr(x.R)
+		if err != nil {
+			return "", err
+		}
+		if err := s.emit(p, map[string]string{"dst": l, "src1": l, "src2": r}); err != nil {
+			return "", err
+		}
+		// Multi-cycle operations (multiplies execute in E2 on the shipped
+		// models) read their operands at their execute stage; pad so the
+		// following instruction cannot clobber a source first (the same
+		// rule a C62xx scheduler applies to delay slots).
+		if sem == "MPY" {
+			s.padNops(2)
+		}
+		s.release(r)
+		return l, nil
+	default:
+		return "", fmt.Errorf("unknown IR node %T", e)
+	}
+}
+
+// padLoadDelay emits NOPs covering the deepest load delay of the model
+// (simple16: 1; c62x: 4 plus dispatch distance — 6 is safe for both).
+func (s *Selector) padLoadDelay() { s.padNops(6) }
+
+// padNops emits n NOPs when the model has one.
+func (s *Selector) padNops(n int) {
+	if _, ok := s.bySem["NOP"]; !ok {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.lines = append(s.lines, "NOP")
+	}
+}
+
+// Compile translates a statement list into an assembly program ending in
+// HALT/IDLE, ready for the model's generated assembler.
+func (s *Selector) Compile(stmts []Stmt) (string, error) {
+	s.lines = nil
+	for _, st := range stmts {
+		r, err := s.genExpr(st.X)
+		if err != nil {
+			return "", err
+		}
+		base, err := s.alloc()
+		if err != nil {
+			return "", err
+		}
+		ldi, err := s.need("LDI")
+		if err != nil {
+			if ldi, err = s.need("MVK"); err != nil {
+				return "", err
+			}
+		}
+		if err := s.emit(ldi, map[string]string{"dst": base, "imm": fmt.Sprintf("%d", st.Addr)}); err != nil {
+			return "", err
+		}
+		// Let the address register settle through the pipeline before the
+		// store reads it.
+		s.lines = append(s.lines, "NOP", "NOP")
+		stp, err := s.need("ST")
+		if err != nil {
+			if stp, err = s.need("STW"); err != nil {
+				return "", err
+			}
+		}
+		if err := s.emit(stp, map[string]string{"src1": r, "base": base, "offset": "0"}); err != nil {
+			return "", err
+		}
+		s.release(base)
+		s.release(r)
+	}
+	if _, ok := s.bySem["HALT"]; ok {
+		s.lines = append(s.lines, "HALT")
+	} else if _, ok := s.bySem["IDLE"]; ok {
+		s.lines = append(s.lines, "NOP", "NOP", "NOP", "NOP", "IDLE")
+	}
+	return strings.Join(s.lines, "\n") + "\n", nil
+}

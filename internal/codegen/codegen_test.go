@@ -1,0 +1,219 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+)
+
+// compileAndRun selects code for the expression, assembles it with the
+// model's generated assembler, runs it, and returns data_mem[outAddr].
+func compileAndRun(t *testing.T, machine *core.Machine, stmts []Stmt, data map[uint64]uint64, outAddr uint64) int64 {
+	t.Helper()
+	sel, err := New(machine.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := sel.Compile(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := machine.AssembleAndLoad(asmText, sim.Compiled)
+	if err != nil {
+		t.Fatalf("generated code does not assemble: %v\n%s", err, asmText)
+	}
+	for a, v := range data {
+		if err := s.SetMem("data_mem", a, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Run(100000); err != nil {
+		t.Fatalf("generated code crashed: %v\n%s", err, asmText)
+	}
+	if !s.Halted() {
+		t.Fatalf("generated code did not halt:\n%s", asmText)
+	}
+	v, err := s.Mem("data_mem", outAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Int()
+}
+
+func TestSelectConstExpression(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out = (2+3)*(10-4) = 30
+	expr := Bin{Op: "mul",
+		L: Bin{Op: "add", L: Const{2}, R: Const{3}},
+		R: Bin{Op: "sub", L: Const{10}, R: Const{4}},
+	}
+	got := compileAndRun(t, m, []Stmt{{Addr: 500, X: expr}}, nil, 500)
+	if got != 30 {
+		t.Errorf("result = %d, want 30", got)
+	}
+}
+
+func TestSelectWithLoads(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out = (a + b) * (c - 5) with a=7 (addr 10), b=3 (addr 11), c=9 (addr 12)
+	expr := Bin{Op: "mul",
+		L: Bin{Op: "add", L: Load{10}, R: Load{11}},
+		R: Bin{Op: "sub", L: Load{12}, R: Const{5}},
+	}
+	got := compileAndRun(t, m,
+		[]Stmt{{Addr: 500, X: expr}},
+		map[uint64]uint64{10: 7, 11: 3, 12: 9},
+		500)
+	if got != 40 {
+		t.Errorf("result = %d, want (7+3)*(9-5)=40", got)
+	}
+}
+
+func TestSelectBitwiseOps(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := Bin{Op: "xor",
+		L: Bin{Op: "and", L: Const{0xff}, R: Const{0x0f}},
+		R: Bin{Op: "or", L: Const{0x30}, R: Const{0x01}},
+	}
+	got := compileAndRun(t, m, []Stmt{{Addr: 500, X: expr}}, nil, 500)
+	want := int64((0xff & 0x0f) ^ (0x30 | 0x01))
+	if got != want {
+		t.Errorf("result = %d, want %d", got, want)
+	}
+}
+
+func TestSelectMultipleStatements(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := []Stmt{
+		{Addr: 500, X: Bin{Op: "add", L: Const{1}, R: Const{2}}},
+		{Addr: 501, X: Bin{Op: "mul", L: Load{500}, R: Const{10}}},
+	}
+	sel, err := New(m.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := sel.Compile(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := m.AssembleAndLoad(asmText, sim.Compiled)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, asmText)
+	}
+	if _, err := s.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := s.Mem("data_mem", 500)
+	v1, _ := s.Mem("data_mem", 501)
+	if v0.Int() != 3 || v1.Int() != 30 {
+		t.Errorf("results = %d, %d; want 3, 30\n%s", v0.Int(), v1.Int(), asmText)
+	}
+}
+
+func TestRetargetToC62x(t *testing.T) {
+	// The same IR retargets to the VLIW model: MVK/LDW/STW/IDLE are found
+	// through their SEMANTICS, and the emitted syntax uses the c62x
+	// spelling.
+	m, err := core.LoadBuiltin("c62x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := Bin{Op: "add",
+		L: Bin{Op: "mul", L: Const{6}, R: Const{7}},
+		R: Load{10},
+	}
+	sel, err := New(m.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmText, err := sel.Compile([]Stmt{{Addr: 500, X: expr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, "MVK") || !strings.Contains(asmText, "LDW") {
+		t.Fatalf("expected c62x spellings in:\n%s", asmText)
+	}
+	s, _, err := m.AssembleAndLoad(asmText, sim.Compiled)
+	if err != nil {
+		t.Fatalf("generated c62x code does not assemble: %v\n%s", err, asmText)
+	}
+	if err := s.SetMem("data_mem", 10, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(100000); err != nil {
+		t.Fatalf("%v\n%s", err, asmText)
+	}
+	if !s.Halted() {
+		t.Fatalf("did not halt:\n%s", asmText)
+	}
+	v, _ := s.Mem("data_mem", 500)
+	if v.Int() != 50 {
+		t.Errorf("result = %d, want 6*7+8=50\n%s", v.Int(), asmText)
+	}
+}
+
+func TestUnknownOperatorRejected(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := New(m.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sel.Compile([]Stmt{{Addr: 0, X: Bin{Op: "div", L: Const{1}, R: Const{2}}}})
+	if err == nil || !strings.Contains(err.Error(), "unknown IR operator") {
+		t.Errorf("expected unknown-operator error, got %v", err)
+	}
+}
+
+func TestMissingInstructionReported(t *testing.T) {
+	// A model without multiply semantics cannot select "mul".
+	src := `
+RESOURCE {
+  PROGRAM_COUNTER int pc LATCH;
+  CONTROL_REGISTER bit[32] ir;
+  REGISTER int A[16];
+  REGISTER bit halt;
+  PROGRAM_MEMORY bit[32] prog_mem[64];
+  DATA_MEMORY int data_mem[64];
+  PIPELINE pipe = { FE; EX };
+}
+OPERATION reset { BEHAVIOR { pc = 0; } }
+OPERATION main { ACTIVATION { if (!halt) { fetch }, pipe.shift() } }
+OPERATION fetch IN pipe.FE { BEHAVIOR { ir = prog_mem[pc]; pc = pc + 1; decode(); } }
+OPERATION decode {
+  DECLARE { GROUP Instruction = { nop; halt_op }; }
+  CODING { ir == Instruction }
+  ACTIVATION { Instruction }
+}
+OPERATION nop { CODING { 0b000000 0bx[26] } SYNTAX { "NOP" } SEMANTICS { NOP } }
+OPERATION halt_op IN pipe.EX { CODING { 0b111111 0bx[26] } SYNTAX { "HALT" } SEMANTICS { HALT } BEHAVIOR { halt = 1; } }
+`
+	mc, err := core.LoadMachine("tiny", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := New(mc.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sel.Compile([]Stmt{{Addr: 0, X: Const{1}}})
+	if err == nil || !strings.Contains(err.Error(), "no instruction with semantics") {
+		t.Errorf("expected missing-semantics error, got %v", err)
+	}
+}

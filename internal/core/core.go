@@ -1,0 +1,108 @@
+// Package core ties the golisa tool flow together: it turns LISA source
+// text into the intermediate database and hands out the generated tools —
+// assembler, disassembler and simulators — exactly the retargetable
+// environment of the paper's §4.1 ("a parser reads the LISA models and
+// translates them into an intermediate data base which is accessed by all
+// other tools").
+package core
+
+import (
+	"fmt"
+
+	"golisa/internal/asm"
+	"golisa/internal/model"
+	"golisa/internal/models"
+	"golisa/internal/parser"
+	"golisa/internal/sema"
+	"golisa/internal/sim"
+)
+
+// Machine is a loaded LISA model plus its generated-tool factories.
+type Machine struct {
+	Model  *model.Model
+	Source string
+}
+
+// LoadMachine parses and analyzes LISA source text. The name is used for
+// diagnostics and statistics.
+func LoadMachine(name, src string) (*Machine, error) {
+	d, perrs := parser.Parse(src, name+".lisa")
+	if len(perrs) > 0 {
+		return nil, fmt.Errorf("parse %s: %w (and %d more)", name, perrs[0], len(perrs)-1)
+	}
+	m, serrs := sema.Build(name, d)
+	if len(serrs) > 0 {
+		return nil, fmt.Errorf("analyze %s: %w (and %d more)", name, serrs[0], len(serrs)-1)
+	}
+	m.SourceLines = sema.CountSourceLines(src)
+	return &Machine{Model: m, Source: src}, nil
+}
+
+// LoadBuiltin loads one of the embedded models ("simple16", "c62x").
+func LoadBuiltin(name string) (*Machine, error) {
+	src, ok := models.All[name]
+	if !ok {
+		return nil, fmt.Errorf("no builtin model %q (have simple16, c62x, simd16)", name)
+	}
+	return LoadMachine(name, src)
+}
+
+// NewAssembler generates the machine's assembler.
+func (mc *Machine) NewAssembler() (*asm.Assembler, error) {
+	return asm.NewAssembler(mc.Model)
+}
+
+// NewDisassembler generates the machine's disassembler.
+func (mc *Machine) NewDisassembler() (*asm.Disassembler, error) {
+	return asm.NewDisassembler(mc.Model)
+}
+
+// NewSimulator generates a simulator in the given mode.
+func (mc *Machine) NewSimulator(mode sim.Mode) (*sim.Simulator, error) {
+	s := sim.New(mc.Model, mode)
+	if err := s.Reset(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats computes the paper-§4 model statistics.
+func (mc *Machine) Stats() model.Stats {
+	return mc.Model.ComputeStats()
+}
+
+// ProgramMemory returns the name of the model's program memory (the first
+// PROGRAM_MEMORY resource), or an error when the model has none.
+func (mc *Machine) ProgramMemory() (string, error) {
+	for _, r := range mc.Model.Resources {
+		if r.Class.String() == "PROGRAM_MEMORY" && r.IsMemory() {
+			return r.Name, nil
+		}
+	}
+	return "", fmt.Errorf("model %s has no PROGRAM_MEMORY resource", mc.Model.Name)
+}
+
+// AssembleAndLoad assembles source text and loads the image into a fresh
+// simulator's program memory.
+func (mc *Machine) AssembleAndLoad(src string, mode sim.Mode) (*sim.Simulator, *asm.Program, error) {
+	a, err := mc.NewAssembler()
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := a.Assemble(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := mc.NewSimulator(mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	pm, err := mc.ProgramMemory()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.LoadProgram(pm, prog.Origin, prog.Words); err != nil {
+		return nil, nil, err
+	}
+	return s, prog, nil
+}

@@ -1,0 +1,198 @@
+// Package cosim implements a small cycle-based HW/SW co-simulation kernel:
+// the generated processor simulator advances one control step per clock
+// cycle, and hardware device models tick on the same clock, exchanging data
+// through memory-mapped addresses and interrupt lines.
+//
+// The paper motivates exactly this use (§1): co-simulation of hardware and
+// software demands cycle-accurate processor models because pipelined DSPs
+// cannot be coupled to cycle-based hardware simulation through
+// instruction-latency accounting alone.
+package cosim
+
+import (
+	"fmt"
+
+	"golisa/internal/bitvec"
+	"golisa/internal/model"
+	"golisa/internal/sim"
+)
+
+// Bus is a memory-mapped window into one of the CPU's data memories.
+// Devices read and write words the software also sees.
+type Bus struct {
+	state *model.State
+	mem   *model.Resource
+}
+
+// NewBus creates a bus over the named memory resource.
+func NewBus(s *sim.Simulator, memName string) (*Bus, error) {
+	r := s.M.Resource(memName)
+	if r == nil || !r.IsMemory() {
+		return nil, fmt.Errorf("no memory resource %q", memName)
+	}
+	return &Bus{state: s.S, mem: r}, nil
+}
+
+// Read returns the word at addr (0 on out-of-range access).
+func (b *Bus) Read(addr uint64) uint64 {
+	v, err := b.state.ReadElem(b.mem, addr)
+	if err != nil {
+		return 0
+	}
+	return v.Uint()
+}
+
+// Write stores a word at addr; out-of-range writes are dropped.
+func (b *Bus) Write(addr, val uint64) {
+	_ = b.state.WriteElem(b.mem, addr, bitvec.New(val, b.mem.Width))
+}
+
+// Device is a hardware model ticked once per clock cycle after the CPU's
+// control step.
+type Device interface {
+	// Name identifies the device in diagnostics.
+	Name() string
+	// Tick advances the device by one clock cycle.
+	Tick(cycle uint64)
+}
+
+// Kernel drives the CPU and all devices on one shared clock.
+type Kernel struct {
+	CPU     *sim.Simulator
+	Devices []Device
+
+	cycle uint64
+}
+
+// New creates a co-simulation kernel around a generated CPU simulator.
+func New(cpu *sim.Simulator) *Kernel {
+	return &Kernel{CPU: cpu}
+}
+
+// Attach adds a device to the clock domain.
+func (k *Kernel) Attach(d Device) { k.Devices = append(k.Devices, d) }
+
+// Cycle returns the number of elapsed clock cycles.
+func (k *Kernel) Cycle() uint64 { return k.cycle }
+
+// Step advances the whole system by one clock cycle: CPU first, then each
+// device in attach order.
+func (k *Kernel) Step() error {
+	if err := k.CPU.RunStep(); err != nil {
+		return err
+	}
+	for _, d := range k.Devices {
+		d.Tick(k.cycle)
+	}
+	k.cycle++
+	return nil
+}
+
+// Run executes cycles until the CPU halts or maxCycles elapse, returning
+// the number of cycles run.
+func (k *Kernel) Run(maxCycles uint64) (uint64, error) {
+	var n uint64
+	for n < maxCycles {
+		if k.CPU.Halted() {
+			return n, nil
+		}
+		if err := k.Step(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// --- devices -------------------------------------------------------------------
+
+// Timer raises the CPU's interrupt line every Period cycles, modelling a
+// periodic hardware timer.
+type Timer struct {
+	Period  uint64
+	IRQName string // CPU resource holding the interrupt line (e.g. "irq")
+
+	cpu    *sim.Simulator
+	count  uint64
+	Raised uint64 // number of interrupts raised
+}
+
+// NewTimer creates a timer bound to the CPU's named interrupt resource.
+func NewTimer(cpu *sim.Simulator, irqName string, period uint64) *Timer {
+	return &Timer{Period: period, IRQName: irqName, cpu: cpu}
+}
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Tick implements Device.
+func (t *Timer) Tick(cycle uint64) {
+	t.count++
+	if t.Period > 0 && t.count >= t.Period {
+		t.count = 0
+		t.Raised++
+		_ = t.cpu.SetScalar(t.IRQName, 1)
+	}
+}
+
+// OutPort watches a memory-mapped data register: when the software writes a
+// value with the ready bit (bit 31) set, the port captures the low 16 bits
+// and clears the register — a minimal UART-style transmit port.
+type OutPort struct {
+	Bus  *Bus
+	Addr uint64
+
+	Captured []uint64
+}
+
+// NewOutPort creates an output port at the given word address.
+func NewOutPort(bus *Bus, addr uint64) *OutPort {
+	return &OutPort{Bus: bus, Addr: addr}
+}
+
+// Name implements Device.
+func (p *OutPort) Name() string { return "outport" }
+
+// Tick implements Device.
+func (p *OutPort) Tick(cycle uint64) {
+	v := p.Bus.Read(p.Addr)
+	if v&(1<<31) != 0 {
+		p.Captured = append(p.Captured, v&0xffff)
+		p.Bus.Write(p.Addr, 0)
+	}
+}
+
+// InPort feeds values into a memory-mapped receive register: whenever the
+// software has consumed the previous value (register reads zero), the next
+// queued value is presented with the ready bit set.
+type InPort struct {
+	Bus  *Bus
+	Addr uint64
+
+	queue []uint64
+}
+
+// NewInPort creates an input port at the given word address.
+func NewInPort(bus *Bus, addr uint64) *InPort {
+	return &InPort{Bus: bus, Addr: addr}
+}
+
+// Name implements Device.
+func (p *InPort) Name() string { return "inport" }
+
+// Feed queues a value for delivery.
+func (p *InPort) Feed(vals ...uint64) { p.queue = append(p.queue, vals...) }
+
+// Pending returns the number of undelivered values.
+func (p *InPort) Pending() int { return len(p.queue) }
+
+// Tick implements Device.
+func (p *InPort) Tick(cycle uint64) {
+	if len(p.queue) == 0 {
+		return
+	}
+	if p.Bus.Read(p.Addr) == 0 {
+		p.Bus.Write(p.Addr, p.queue[0]|(1<<31))
+		p.queue = p.queue[1:]
+	}
+}

@@ -1,0 +1,198 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+)
+
+// packet renders a full-rate c62x fetch packet (see core tests).
+func packet(insns ...string) string {
+	var sb strings.Builder
+	for _, in := range insns {
+		sb.WriteString(in + "\n")
+	}
+	for i := len(insns); i < 8; i++ {
+		sb.WriteString("|| NOP\n")
+	}
+	return sb.String()
+}
+
+func c62xSim(t *testing.T, src string) *sim.Simulator {
+	t.Helper()
+	m, err := core.LoadBuiltin("c62x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := m.AssembleAndLoad(src, sim.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTimerRaisesInterruptAndISRRuns(t *testing.T) {
+	// The main program is a long branch-free NOP runway (interrupts are
+	// blocked while branches are in the pipeline, matching the C62xx); the
+	// timer raises IRQ every 40 cycles; the ISR increments A14 and returns
+	// to the runway.
+	var runway strings.Builder
+	for i := 0; i < 300; i++ {
+		runway.WriteString(packet("NOP"))
+	}
+	isrStart := 300 * 8
+	src := runway.String() +
+		packet("IDLE") + packet("NOP") + packet("NOP") +
+		// ISR follows the runway (+3 control packets).
+		packet("MVK .S1 A13, 1") +
+		packet("NOP") + packet("NOP") +
+		packet("ADD .L1 A14, A14, A13") +
+		packet("IRET") +
+		packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP")
+	s := c62xSim(t, src)
+	if err := s.SetScalar("isr_vector", uint64(isrStart+3*8)); err != nil {
+		t.Fatal(err)
+	}
+	k := New(s)
+	timer := NewTimer(s, "irq", 40)
+	k.Attach(timer)
+	if _, err := k.Run(280); err != nil {
+		t.Fatal(err)
+	}
+	if timer.Raised < 5 {
+		t.Errorf("timer raised %d interrupts, want >= 5", timer.Raised)
+	}
+	v, err := s.Mem("A", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() < 3 {
+		t.Errorf("ISR ran %d times, want >= 3", v.Int())
+	}
+	// Interrupt latency sanity: the ISR cannot run more often than the
+	// timer fires.
+	if uint64(v.Int()) > timer.Raised {
+		t.Errorf("ISR ran %d times but only %d IRQs were raised", v.Int(), timer.Raised)
+	}
+}
+
+func TestOutPortCapturesWrites(t *testing.T) {
+	// Software writes 3 values with the ready bit to the port address
+	// (word 100); the port captures and clears.
+	mkSend := func(val string) string {
+		return packet("MVK .S1 A1, "+val) +
+			packet("MVKH .S1 A1, 0x8000") + // set ready bit 31
+			packet("MVK .S1 A2, 100") +
+			packet("NOP") +
+			packet("STW .D1 A1, *A2[0]") +
+			packet("NOP") + packet("NOP") + packet("NOP")
+	}
+	src := mkSend("11") + mkSend("22") + mkSend("33") + packet("IDLE") + packet("NOP")
+	s := c62xSim(t, src)
+	bus, err := NewBus(s, "data_mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(s)
+	port := NewOutPort(bus, 100)
+	k.Attach(port)
+	if _, err := k.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if len(port.Captured) != 3 {
+		t.Fatalf("captured %d values: %v", len(port.Captured), port.Captured)
+	}
+	for i, want := range []uint64{11, 22, 33} {
+		if port.Captured[i] != want {
+			t.Errorf("captured[%d] = %d, want %d", i, port.Captured[i], want)
+		}
+	}
+	if bus.Read(100) != 0 {
+		t.Error("port register not cleared after capture")
+	}
+}
+
+func TestInPortDeliversWhenConsumed(t *testing.T) {
+	// The port presents values at word 101; software copies the payload to
+	// word 200 + i and clears the register, letting the port present the
+	// next value.
+	src := packet("MVK .S1 A13, 1") + // constant 1
+		packet("MVK .S1 A2, 101") + // port address
+		packet("MVK .S1 A3, 200") + // sink address
+		packet("MVK .S1 A9, 0") + // zero for clearing
+		packet("NOP") + packet("NOP") +
+		// poll loop at word 48
+		packet("LDW .D1 *A2[0], A1") +
+		packet("NOP 4") +
+		packet("BZ .S1 A1, 48") + // not ready: poll again
+		packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP") +
+		// handler at word 112: store payload, clear the register, advance
+		// the sink pointer (after the STW's E3 has read it), loop.
+		packet("STW .D1 A1, *A3[0]") +
+		packet("STW .D1 A9, *A2[0]") +
+		packet("NOP") +
+		packet("NOP") +
+		packet("ADD .L1 A3, A3, A13") +
+		packet("B .S1 48") +
+		packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP") + packet("NOP")
+
+	s := c62xSim(t, src)
+	bus, err := NewBus(s, "data_mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(s)
+	port := NewInPort(bus, 101)
+	port.Feed(7, 8, 9)
+	k.Attach(port)
+	if _, err := k.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if port.Pending() != 0 {
+		t.Fatalf("port still has %d undelivered values", port.Pending())
+	}
+	for i, want := range []uint64{7, 8, 9} {
+		got := bus.Read(200 + uint64(i))
+		if got&0xffff != want {
+			t.Errorf("sink[%d] = %#x, want payload %d", i, got, want)
+		}
+	}
+}
+
+func TestKernelStopsWhenCPUHalts(t *testing.T) {
+	s := c62xSim(t, packet("IDLE")+packet("NOP"))
+	k := New(s)
+	n, err := k.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 1000 {
+		t.Error("kernel did not stop at CPU halt")
+	}
+	if k.Cycle() != n {
+		t.Errorf("cycle count %d != run count %d", k.Cycle(), n)
+	}
+}
+
+func TestBusBounds(t *testing.T) {
+	s := c62xSim(t, packet("IDLE"))
+	bus, err := NewBus(s, "data_mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.Read(1 << 40); got != 0 {
+		t.Errorf("out-of-range read = %d", got)
+	}
+	bus.Write(1<<40, 5) // must not panic
+	if _, err := NewBus(s, "nosuch"); err == nil {
+		t.Error("expected error for unknown memory")
+	}
+	if _, err := NewBus(s, "pc"); err == nil {
+		t.Error("expected error for scalar resource")
+	}
+}

@@ -1,0 +1,217 @@
+// Package docgen generates textbook-style documentation from a LISA model.
+// The paper (§1.1) highlights that a LISA description can replace the
+// hand-written (and usually stale) architecture documentation; this package
+// renders the intermediate database as markdown: resource tables, pipeline
+// diagrams, and an instruction-set reference with coding, syntax, semantics
+// and timing.
+package docgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"golisa/internal/ast"
+	"golisa/internal/model"
+)
+
+// Generate renders the model as a markdown document.
+func Generate(m *model.Model) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — architecture reference\n\n", m.Name)
+	fmt.Fprintf(&sb, "Generated from the LISA description (%d source lines).\n\n", m.SourceLines)
+
+	writeResources(&sb, m)
+	writePipelines(&sb, m)
+	writeInstructionSet(&sb, m)
+	writeStats(&sb, m)
+	return sb.String()
+}
+
+func writeResources(sb *strings.Builder, m *model.Model) {
+	sb.WriteString("## Resources\n\n")
+	sb.WriteString("| Name | Class | Type | Extent | Properties |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, r := range m.Resources {
+		extent := "scalar"
+		switch {
+		case r.Banks > 0:
+			extent = fmt.Sprintf("%d banks × %d", r.Banks, r.Size)
+		case r.IsMemory() && r.Base > 0:
+			extent = fmt.Sprintf("[%#x..%#x]", r.Base, r.Base+r.Size-1)
+		case r.IsMemory():
+			extent = fmt.Sprintf("%d elements", r.Size)
+		}
+		var props []string
+		if r.Latch {
+			props = append(props, "latch")
+		}
+		if r.Wait > 0 {
+			props = append(props, fmt.Sprintf("%d wait states", r.Wait))
+		}
+		if r.IsAlias {
+			props = append(props, fmt.Sprintf("alias of %s[%d..%d]", r.AliasOf.Name, r.AliasHi, r.AliasLo))
+		}
+		fmt.Fprintf(sb, "| %s | %s | %s | %s | %s |\n",
+			r.Name, r.Class, typeName(r.Type), extent, strings.Join(props, ", "))
+	}
+	sb.WriteString("\n")
+}
+
+func typeName(t ast.TypeSpec) string {
+	switch t.Kind {
+	case ast.TypeInt:
+		return "int"
+	case ast.TypeLong:
+		return "long"
+	case ast.TypeUint:
+		return "unsigned"
+	default:
+		return fmt.Sprintf("bit[%d]", t.Width)
+	}
+}
+
+func writePipelines(sb *strings.Builder, m *model.Model) {
+	if len(m.Pipelines) == 0 {
+		return
+	}
+	sb.WriteString("## Pipelines\n\n")
+	for _, p := range m.Pipelines {
+		fmt.Fprintf(sb, "- **%s**: %s\n", p.Name, strings.Join(p.Stages, " → "))
+	}
+	sb.WriteString("\n### Stage assignments\n\n")
+	for _, p := range m.Pipelines {
+		for i, st := range p.Stages {
+			var ops []string
+			for _, op := range m.OpList {
+				if op.Pipe == p && op.StageIdx == i {
+					ops = append(ops, op.Name)
+				}
+			}
+			if len(ops) > 0 {
+				sort.Strings(ops)
+				fmt.Fprintf(sb, "- `%s.%s`: %s\n", p.Name, st, strings.Join(ops, ", "))
+			}
+		}
+	}
+	sb.WriteString("\n")
+}
+
+func writeInstructionSet(sb *strings.Builder, m *model.Model) {
+	sb.WriteString("## Instruction set\n\n")
+	var roots []*model.Operation
+	for _, op := range m.OpList {
+		if op.IsCodingRoot {
+			roots = append(roots, op)
+		}
+	}
+	if len(roots) == 0 {
+		sb.WriteString("(no coding root; this model defines no decodable instruction set)\n\n")
+		return
+	}
+	for _, root := range roots {
+		names := make([]string, 0, len(root.Groups))
+		for n := range root.Groups {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, gname := range names {
+			for _, op := range root.Groups[gname].Members {
+				writeInstruction(sb, op)
+			}
+		}
+	}
+}
+
+func writeInstruction(sb *strings.Builder, op *model.Operation) {
+	title := op.Name
+	if op.Alias {
+		title += " (alias)"
+	}
+	fmt.Fprintf(sb, "### %s\n\n", title)
+	if op.HasStage() {
+		fmt.Fprintf(sb, "Executes in pipeline stage `%s.%s`.\n\n", op.Pipe.Name, op.Pipe.Stages[op.StageIdx])
+	}
+	for i, v := range op.Variants {
+		if len(op.Variants) > 1 {
+			fmt.Fprintf(sb, "Variant %d%s:\n\n", i+1, guardText(v))
+		}
+		if v.Syntax != nil {
+			fmt.Fprintf(sb, "- Syntax: `%s`\n", syntaxText(v.Syntax))
+		}
+		if v.Coding != nil {
+			fmt.Fprintf(sb, "- Coding: `%s` (%d bits)\n", codingText(v.Coding), op.CodingWidth)
+		}
+		if v.Semantics != "" {
+			fmt.Fprintf(sb, "- Semantics: `%s`\n", v.Semantics)
+		}
+		keys := make([]string, 0, len(v.Custom))
+		for k := range v.Custom {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(sb, "- %s: %s\n", k, v.Custom[k])
+		}
+	}
+	sb.WriteString("\n")
+}
+
+func guardText(v *model.Variant) string {
+	if len(v.Guards) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(v.Guards))
+	for _, g := range v.Guards {
+		op := "=="
+		if g.Negate {
+			op = "!="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", g.Group, op, g.Member.Name))
+	}
+	return " (when " + strings.Join(parts, " and ") + ")"
+}
+
+func syntaxText(s *ast.SyntaxSec) string {
+	var sb strings.Builder
+	for _, e := range s.Elems {
+		switch el := e.(type) {
+		case *ast.SyntaxString:
+			sb.WriteString(el.Text)
+		case *ast.SyntaxRef:
+			sb.WriteString("<")
+			sb.WriteString(el.Name)
+			sb.WriteString(">")
+		}
+	}
+	return sb.String()
+}
+
+func codingText(c *ast.CodingSec) string {
+	parts := []string{}
+	if c.CompareTo != "" {
+		parts = append(parts, c.CompareTo, "==")
+	}
+	for _, e := range c.Elems {
+		switch el := e.(type) {
+		case *ast.CodingPattern:
+			parts = append(parts, el.Bits)
+		case *ast.CodingField:
+			parts = append(parts, fmt.Sprintf("%s[%d]", el.Label, len(el.Bits)))
+		case *ast.CodingRef:
+			parts = append(parts, "<"+el.Name+">")
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func writeStats(sb *strings.Builder, m *model.Model) {
+	st := m.ComputeStats()
+	sb.WriteString("## Model statistics\n\n")
+	fmt.Fprintf(sb, "| Metric | Value |\n|---|---|\n")
+	fmt.Fprintf(sb, "| Resources | %d |\n", st.Resources)
+	fmt.Fprintf(sb, "| Pipelines | %d (%d stages) |\n", st.Pipelines, st.PipelineStages)
+	fmt.Fprintf(sb, "| Operations | %d |\n", st.Operations)
+	fmt.Fprintf(sb, "| Instructions | %d + %d aliases |\n", st.Instructions, st.Aliases)
+	fmt.Fprintf(sb, "| LISA source lines | %d (%.1f per operation) |\n", st.SourceLines, st.LinesPerOp)
+}

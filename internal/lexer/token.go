@@ -1,0 +1,86 @@
+// Package lexer turns LISA source text into a token stream.
+//
+// The LISA language (Pees et al., DAC 1999) has a C-like surface syntax with
+// a few additions: binary coding patterns with don't-care digits (0b01x),
+// range punctuation (..) in memory declarations, and section keywords.
+package lexer
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Keywords are recognized by the parser from IDENT tokens so
+// that section names remain usable as ordinary identifiers where the grammar
+// permits; only truly reserved words get their own kind.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER  // decimal, hex (0x...), or char constant
+	BINPAT  // binary coding pattern 0b[01x]+
+	STRING  // "..."
+	PUNCT   // one of the operator/punctuation lexemes
+	NEWLINE // never emitted; reserved
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case IDENT:
+		return "identifier"
+	case NUMBER:
+		return "number"
+	case BINPAT:
+		return "binary pattern"
+	case STRING:
+		return "string"
+	case PUNCT:
+		return "punctuation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical element.
+type Token struct {
+	Kind Kind
+	Text string // exact lexeme; for STRING, the unquoted content
+	Val  uint64 // numeric value for NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("'%s'", t.Text)
+	}
+}
+
+// Is reports whether the token is the given punctuation lexeme.
+func (t Token) Is(punct string) bool {
+	return t.Kind == PUNCT && t.Text == punct
+}
+
+// IsIdent reports whether the token is the given identifier (case-sensitive).
+func (t Token) IsIdent(name string) bool {
+	return t.Kind == IDENT && t.Text == name
+}

@@ -1,0 +1,258 @@
+package model
+
+import (
+	"fmt"
+
+	"golisa/internal/bitvec"
+)
+
+// State is the architectural state of a machine: one bit-accurate value per
+// scalar resource and one value slice per memory resource. It is the
+// paper's "memory model" made executable.
+type State struct {
+	m       *Model
+	Scalars []bitvec.Value
+	Arrays  [][]bitvec.Value
+
+	// Pending non-blocking writes to latch resources, applied in order by
+	// Commit at the end of each control step (last write wins).
+	pendingScalars []pendingScalar
+	pendingElems   []pendingElem
+}
+
+type pendingScalar struct {
+	r *Resource
+	v bitvec.Value
+}
+
+type pendingElem struct {
+	r    *Resource
+	addr uint64
+	v    bitvec.Value
+}
+
+// AssignSlots numbers the resources into state slots. Called once by sema
+// after all resources are registered.
+func (m *Model) AssignSlots() {
+	scalar, array := 0, 0
+	for _, r := range m.Resources {
+		if r.IsAlias {
+			r.Slot = -1
+			continue
+		}
+		if r.IsMemory() {
+			r.Slot = array
+			array++
+		} else {
+			r.Slot = scalar
+			scalar++
+		}
+	}
+}
+
+// NewState allocates zeroed state for the model.
+func NewState(m *Model) *State {
+	s := &State{m: m}
+	for _, r := range m.Resources {
+		if r.IsAlias {
+			continue
+		}
+		if r.IsMemory() {
+			arr := make([]bitvec.Value, r.Total())
+			zero := bitvec.New(0, r.Width)
+			for i := range arr {
+				arr[i] = zero
+			}
+			s.Arrays = append(s.Arrays, arr)
+		} else {
+			s.Scalars = append(s.Scalars, bitvec.New(0, r.Width))
+		}
+	}
+	return s
+}
+
+// Model returns the model this state belongs to.
+func (s *State) Model() *Model { return s.m }
+
+// Reset zeroes all resources and drops pending latch writes.
+func (s *State) Reset() {
+	s.pendingScalars = s.pendingScalars[:0]
+	s.pendingElems = s.pendingElems[:0]
+	for i, r := range s.m.Resources {
+		_ = i
+		if r.IsAlias {
+			continue
+		}
+		if r.IsMemory() {
+			zero := bitvec.New(0, r.Width)
+			arr := s.Arrays[r.Slot]
+			for j := range arr {
+				arr[j] = zero
+			}
+		} else {
+			s.Scalars[r.Slot] = bitvec.New(0, r.Width)
+		}
+	}
+}
+
+// Read returns the value of a scalar resource, resolving aliases.
+func (s *State) Read(r *Resource) bitvec.Value {
+	if r.IsAlias {
+		base := s.Read(r.AliasOf)
+		return base.Slice(r.AliasHi, r.AliasLo)
+	}
+	return s.Scalars[r.Slot]
+}
+
+// Write stores v into a scalar resource (truncated to its width),
+// resolving aliases. Writes to LATCH resources are buffered until Commit.
+func (s *State) Write(r *Resource, v bitvec.Value) {
+	if r.IsAlias {
+		base := s.Read(r.AliasOf)
+		s.Write(r.AliasOf, base.InsertSlice(r.AliasHi, r.AliasLo, v.Uint()))
+		return
+	}
+	if r.Latch {
+		s.pendingScalars = append(s.pendingScalars, pendingScalar{r, v.Resize(r.Width)})
+		return
+	}
+	s.Scalars[r.Slot] = v.Resize(r.Width)
+}
+
+// WriteNow stores v into a scalar resource bypassing latch buffering
+// (used by reset and external pokes).
+func (s *State) WriteNow(r *Resource, v bitvec.Value) {
+	if r.IsAlias {
+		base := s.Read(r.AliasOf)
+		s.WriteNow(r.AliasOf, base.InsertSlice(r.AliasHi, r.AliasLo, v.Uint()))
+		return
+	}
+	s.Scalars[r.Slot] = v.Resize(r.Width)
+}
+
+// Commit applies pending latch writes in program order (last write wins) and
+// clears the buffers. The simulator calls it at the end of every control
+// step, giving LATCH resources Verilog-style non-blocking semantics.
+func (s *State) Commit() {
+	for _, p := range s.pendingScalars {
+		s.Scalars[p.r.Slot] = p.v
+	}
+	s.pendingScalars = s.pendingScalars[:0]
+	for _, p := range s.pendingElems {
+		if i, err := p.r.elemIndex(p.addr); err == nil {
+			s.Arrays[p.r.Slot][i] = p.v
+		}
+	}
+	s.pendingElems = s.pendingElems[:0]
+}
+
+// elemIndex translates an address to an element index with bounds checking.
+func (r *Resource) elemIndex(addr uint64) (uint64, error) {
+	if addr < r.Base {
+		return 0, fmt.Errorf("%s: address %#x below base %#x", r.Name, addr, r.Base)
+	}
+	i := addr - r.Base
+	if i >= r.Size {
+		return 0, fmt.Errorf("%s: address %#x out of range (size %#x, base %#x)", r.Name, addr, r.Size, r.Base)
+	}
+	return i, nil
+}
+
+// ReadElem reads memory element at addr (bank 0 for banked memories).
+func (s *State) ReadElem(r *Resource, addr uint64) (bitvec.Value, error) {
+	i, err := r.elemIndex(addr)
+	if err != nil {
+		return bitvec.Value{}, err
+	}
+	return s.Arrays[r.Slot][i], nil
+}
+
+// WriteElem writes memory element at addr. Writes to LATCH memories are
+// buffered until Commit.
+func (s *State) WriteElem(r *Resource, addr uint64, v bitvec.Value) error {
+	i, err := r.elemIndex(addr)
+	if err != nil {
+		return err
+	}
+	if r.Latch {
+		s.pendingElems = append(s.pendingElems, pendingElem{r, addr, v.Resize(r.Width)})
+		return nil
+	}
+	s.Arrays[r.Slot][i] = v.Resize(r.Width)
+	return nil
+}
+
+// ReadBanked reads element addr of the given bank of a banked memory.
+func (s *State) ReadBanked(r *Resource, bank, addr uint64) (bitvec.Value, error) {
+	if r.Banks <= 0 {
+		return bitvec.Value{}, fmt.Errorf("%s: not a banked memory", r.Name)
+	}
+	if bank >= uint64(r.Banks) {
+		return bitvec.Value{}, fmt.Errorf("%s: bank %d out of range (%d banks)", r.Name, bank, r.Banks)
+	}
+	i, err := r.elemIndex(addr)
+	if err != nil {
+		return bitvec.Value{}, err
+	}
+	return s.Arrays[r.Slot][bank*r.Size+i], nil
+}
+
+// WriteBanked writes element addr of the given bank of a banked memory.
+func (s *State) WriteBanked(r *Resource, bank, addr uint64, v bitvec.Value) error {
+	if r.Banks <= 0 {
+		return fmt.Errorf("%s: not a banked memory", r.Name)
+	}
+	if bank >= uint64(r.Banks) {
+		return fmt.Errorf("%s: bank %d out of range (%d banks)", r.Name, bank, r.Banks)
+	}
+	i, err := r.elemIndex(addr)
+	if err != nil {
+		return err
+	}
+	s.Arrays[r.Slot][bank*r.Size+i] = v.Resize(r.Width)
+	return nil
+}
+
+// Clone deep-copies the state (used by the cross-simulator equivalence
+// experiment).
+func (s *State) Clone() *State {
+	c := &State{m: s.m}
+	c.Scalars = append([]bitvec.Value(nil), s.Scalars...)
+	c.Arrays = make([][]bitvec.Value, len(s.Arrays))
+	for i, a := range s.Arrays {
+		c.Arrays[i] = append([]bitvec.Value(nil), a...)
+	}
+	return c
+}
+
+// Equal reports whether two states of structurally identical models hold
+// identical values, returning the first differing resource name when they do
+// not. States from two separately built instances of the same description
+// compare fine (the cross-simulator equivalence experiment relies on this).
+func (s *State) Equal(o *State) (bool, string) {
+	if len(s.m.Resources) != len(o.m.Resources) {
+		return false, "different models"
+	}
+	for i, r := range s.m.Resources {
+		or := o.m.Resources[i]
+		if r.Name != or.Name || r.Width != or.Width || r.Total() != or.Total() {
+			return false, "different models"
+		}
+	}
+	for _, r := range s.m.Resources {
+		if r.IsAlias {
+			continue
+		}
+		if r.IsMemory() {
+			a, b := s.Arrays[r.Slot], o.Arrays[r.Slot]
+			for i := range a {
+				if a[i].Uint() != b[i].Uint() {
+					return false, fmt.Sprintf("%s[%#x]", r.Name, uint64(i)+r.Base)
+				}
+			}
+		} else if s.Scalars[r.Slot].Uint() != o.Scalars[r.Slot].Uint() {
+			return false, r.Name
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,39 @@
+// Package models embeds the LISA descriptions shipped with golisa: the
+// simple16 quickstart DSP and the TMS320C62xx-subset VLIW model that
+// reproduces the paper's case study (§4).
+package models
+
+import (
+	_ "embed"
+)
+
+// Simple16 is the LISA source of the quickstart DSP model: two register
+// files with side-bit selection (paper Examples 4/6), a 40-bit MAC
+// accumulator, and a 4-stage FE DC EX WB pipeline.
+//
+//go:embed simple16.lisa
+var Simple16 string
+
+// C62x is the LISA source of the TMS320C6201-subset VLIW model: the
+// paper's fetch_pipe {PG PS PW PR DP} and execute_pipe {DC E1..E5},
+// 8-word fetch packets with p-bit parallel dispatch, multicycle NOP
+// stalls, branch/load/multiply delay slots, memory wait states and a
+// one-line interrupt controller.
+//
+//go:embed c62x.lisa
+var C62x string
+
+// Simd16 is the LISA source of the SIMD DSP model: a 4-lane vector unit
+// over a banked vector register file, per-lane 40-bit MAC accumulators,
+// broadcast/reduction, and scalar control flow — covering the SIMD corner
+// of the paper's target class (§3).
+//
+//go:embed simd16.lisa
+var Simd16 string
+
+// All lists the embedded models by name.
+var All = map[string]string{
+	"simple16": Simple16,
+	"c62x":     C62x,
+	"simd16":   Simd16,
+}

@@ -1,0 +1,219 @@
+// Package pipeline implements LISA's generic pipeline model (paper §3.2.4):
+// operations are assigned to pipeline stages, activations ride the pipeline
+// as packets, and the built-in pipeline operations shift, stall and flush
+// move, hold and clear those packets.
+//
+// Timing semantics: an activated operation executes when the packet carrying
+// it sits in the operation's assigned stage; the activation delay therefore
+// equals the spatial distance between activator and target, exactly as the
+// paper specifies. Delayed activation (';') adds whole control steps on top
+// and is handled by the simulator's time wheel.
+package pipeline
+
+import (
+	"golisa/internal/model"
+)
+
+// Entry is one scheduled operation instance riding a packet.
+type Entry struct {
+	Inst     *model.Instance
+	StageIdx int // stage at which the instance executes
+	Extra    int // extra control steps from delayed activation (';')
+
+	executed bool
+}
+
+// Executed reports whether the entry has already been dispatched.
+func (e *Entry) Executed() bool { return e.executed }
+
+// MarkExecuted marks the entry dispatched so it does not re-execute while
+// its stage is stalled.
+func (e *Entry) MarkExecuted() { e.executed = true }
+
+// Packet is a group of entries that advance through the pipeline together —
+// the activations belonging to one instruction (or one fetch packet).
+type Packet struct {
+	Entries []*Entry
+}
+
+// Add appends an entry to the packet.
+func (p *Packet) Add(e *Entry) { p.Entries = append(p.Entries, e) }
+
+// Pipe is the runtime state of one pipeline: one packet slot per stage.
+type Pipe struct {
+	Def   *model.Pipeline
+	Slots []*Packet
+
+	latch    *Packet // inserted into stage 0 at the next BeginStep
+	stalled  []bool
+	shiftReq bool
+
+	// Stats for the profiler / VCD tracer.
+	Shifts  uint64
+	Stalls  uint64
+	Flushes uint64
+}
+
+// New creates the runtime pipe for a declared pipeline.
+func New(def *model.Pipeline) *Pipe {
+	return &Pipe{
+		Def:     def,
+		Slots:   make([]*Packet, def.Depth()),
+		stalled: make([]bool, def.Depth()),
+	}
+}
+
+// Reset clears all packets, latches and requests.
+func (p *Pipe) Reset() {
+	for i := range p.Slots {
+		p.Slots[i] = nil
+		p.stalled[i] = false
+	}
+	p.latch = nil
+	p.shiftReq = false
+}
+
+// InsertFront merges entries into the stage-0 packet for the current control
+// step (used when an unassigned operation such as main activates
+// stage-assigned operations: the stage-0 ops execute in the same step).
+func (p *Pipe) InsertFront(entries ...*Entry) *Packet {
+	if p.Slots[0] == nil {
+		p.Slots[0] = &Packet{}
+	}
+	for _, e := range entries {
+		p.Slots[0].Add(e)
+	}
+	return p.Slots[0]
+}
+
+// LatchNext queues entries for insertion into stage 0 at the start of the
+// next control step (cross-pipeline activation).
+func (p *Pipe) LatchNext(entries ...*Entry) {
+	if p.latch == nil {
+		p.latch = &Packet{}
+	}
+	for _, e := range entries {
+		p.latch.Add(e)
+	}
+}
+
+// BeginStep applies the pending latch into stage 0 (merging with an
+// occupying packet if the pipeline did not shift).
+func (p *Pipe) BeginStep() {
+	if p.latch == nil {
+		return
+	}
+	if p.Slots[0] == nil {
+		p.Slots[0] = p.latch
+	} else {
+		p.Slots[0].Entries = append(p.Slots[0].Entries, p.latch.Entries...)
+	}
+	p.latch = nil
+}
+
+// ReadyEntry pairs an unexecuted entry with the packet and stage where it is
+// ready to run this control step.
+type ReadyEntry struct {
+	Entry  *Entry
+	Packet *Packet
+	Stage  int
+}
+
+// Ready returns, in stage-ascending order, all unexecuted entries whose
+// assigned stage matches the stage their packet currently occupies. Entries
+// in a stalled stage are withheld: a stalled stage does no work, and its
+// operations fire in the first cycle the stall is released.
+func (p *Pipe) Ready() []ReadyEntry { return p.ReadyAppend(nil) }
+
+// ReadyAppend appends the ready entries to buf (the simulator reuses one
+// buffer across control steps to avoid per-cycle allocation).
+func (p *Pipe) ReadyAppend(buf []ReadyEntry) []ReadyEntry {
+	for s, pkt := range p.Slots {
+		if pkt == nil || p.stalled[s] {
+			continue
+		}
+		for _, e := range pkt.Entries {
+			if !e.executed && e.StageIdx == s {
+				buf = append(buf, ReadyEntry{Entry: e, Packet: pkt, Stage: s})
+			}
+		}
+	}
+	return buf
+}
+
+// RequestShift asks for one stage advance at EndStep.
+func (p *Pipe) RequestShift() { p.shiftReq = true }
+
+// Stall holds the given stage for the current step; stage -1 stalls the
+// whole pipeline.
+func (p *Pipe) Stall(stage int) {
+	p.Stalls++
+	if stage < 0 {
+		for i := range p.stalled {
+			p.stalled[i] = true
+		}
+		return
+	}
+	if stage < len(p.stalled) {
+		p.stalled[stage] = true
+	}
+}
+
+// Stalled reports whether the stage is held this step.
+func (p *Pipe) Stalled(stage int) bool {
+	return stage >= 0 && stage < len(p.stalled) && p.stalled[stage]
+}
+
+// Flush clears the packet in the given stage immediately; stage -1 clears
+// the whole pipeline.
+func (p *Pipe) Flush(stage int) {
+	p.Flushes++
+	if stage < 0 {
+		for i := range p.Slots {
+			p.Slots[i] = nil
+		}
+		return
+	}
+	if stage < len(p.Slots) {
+		p.Slots[stage] = nil
+	}
+}
+
+// EndStep performs the requested shift (respecting stalls and occupancy
+// back-pressure: a packet moves only into a slot that is empty after the
+// downstream stages have moved) and clears per-step stall marks. It returns
+// the packet that retired from the last stage, if any.
+func (p *Pipe) EndStep() *Packet {
+	var retired *Packet
+	if p.shiftReq {
+		p.Shifts++
+		last := len(p.Slots) - 1
+		if p.Slots[last] != nil && !p.stalled[last] {
+			retired = p.Slots[last]
+			p.Slots[last] = nil
+		}
+		for s := last - 1; s >= 0; s-- {
+			if p.Slots[s] == nil || p.stalled[s] {
+				continue
+			}
+			if p.Slots[s+1] == nil {
+				p.Slots[s+1] = p.Slots[s]
+				p.Slots[s] = nil
+			}
+		}
+	}
+	for i := range p.stalled {
+		p.stalled[i] = false
+	}
+	p.shiftReq = false
+	return retired
+}
+
+// Occupancy returns, per stage, whether a packet is present (for tracing).
+func (p *Pipe) Occupancy() []bool {
+	occ := make([]bool, len(p.Slots))
+	for i, pkt := range p.Slots {
+		occ[i] = pkt != nil
+	}
+	return occ
+}

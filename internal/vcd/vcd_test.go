@@ -1,0 +1,145 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"golisa/internal/parser"
+	"golisa/internal/pipeline"
+	"golisa/internal/sema"
+
+	"golisa/internal/bitvec"
+	"golisa/internal/model"
+)
+
+func buildState(t *testing.T, src string) (*model.Model, *model.State) {
+	t.Helper()
+	d, perrs := parser.Parse(src, "t")
+	if len(perrs) > 0 {
+		t.Fatal(perrs[0])
+	}
+	m, errs := sema.Build("vcdtest", d)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	return m, model.NewState(m)
+}
+
+func TestHeaderDeclaresSignals(t *testing.T) {
+	m, st := buildState(t, `
+RESOURCE {
+  REGISTER int r0;
+  REGISTER bit c;
+  DATA_MEMORY int mem[8];
+  PIPELINE p = { A; B };
+}`)
+	pipe := pipeline.New(m.Pipeline("p"))
+	var sb strings.Builder
+	w := New(&sb, st, []*pipeline.Pipe{pipe})
+	w.Header("vcdtest")
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 1",
+		"$var reg 32",
+		"r0 $end",
+		"c $end",
+		"p.A $end",
+		"p.B $end",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("header missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "mem") {
+		t.Error("memory resources must not become VCD signals")
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
+
+func TestStepEmitsOnlyChanges(t *testing.T) {
+	m, st := buildState(t, `RESOURCE { REGISTER int r0; REGISTER int r1; }`)
+	var sb strings.Builder
+	w := New(&sb, st, nil)
+	w.Header("t")
+	w.Step(0) // dumps initial values
+	pre := sb.Len()
+	w.Step(1) // nothing changed
+	unchanged := sb.String()[pre:]
+	if strings.Count(unchanged, "\n") != 1 { // only the #1 timestamp
+		t.Errorf("expected no value lines for unchanged step, got %q", unchanged)
+	}
+	st.Write(m.Resource("r0"), bitvec.FromInt(5, 32))
+	pre = sb.Len()
+	w.Step(2)
+	changed := sb.String()[pre:]
+	if !strings.Contains(changed, "b00000000000000000000000000000101") {
+		t.Errorf("value change not dumped: %q", changed)
+	}
+	if strings.Count(changed, "b") != 1 {
+		t.Errorf("only the changed signal should be dumped: %q", changed)
+	}
+}
+
+func TestPipelineOccupancySignal(t *testing.T) {
+	m, st := buildState(t, `RESOURCE { REGISTER int r0; PIPELINE p = { A; B }; }`)
+	_ = m
+	pipe := pipeline.New(m.Pipeline("p"))
+	var sb strings.Builder
+	w := New(&sb, st, []*pipeline.Pipe{pipe})
+	w.Header("t")
+	w.Step(0)
+	pipe.InsertFront(&pipeline.Entry{StageIdx: 0})
+	pre := sb.Len()
+	w.Step(1)
+	out := sb.String()[pre:]
+	if !strings.Contains(out, "1") {
+		t.Errorf("occupancy change not dumped: %q", out)
+	}
+}
+
+func TestUniqueIdentifiers(t *testing.T) {
+	// More than 94 signals exercises multi-character VCD ids.
+	var decls strings.Builder
+	decls.WriteString("RESOURCE {\n")
+	for i := 0; i < 100; i++ {
+		decls.WriteString("REGISTER int r")
+		decls.WriteString(strings.Repeat("x", 1))
+		decls.WriteString(itoa(i))
+		decls.WriteString(";\n")
+	}
+	decls.WriteString("}")
+	_, st := buildState(t, decls.String())
+	var sb strings.Builder
+	w := New(&sb, st, nil)
+	w.Header("many")
+	out := sb.String()
+	ids := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && fields[0] == "$var" {
+			if ids[fields[3]] {
+				t.Fatalf("duplicate VCD id %q", fields[3])
+			}
+			ids[fields[3]] = true
+		}
+	}
+	if len(ids) != 100 {
+		t.Errorf("declared %d ids, want 100", len(ids))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
