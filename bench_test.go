@@ -8,6 +8,7 @@
 //	E6  BenchmarkPipelineOps       — stall/flush/shift mechanism cost
 //	E7  BenchmarkCosim             — co-simulation with devices attached
 //	E8  BenchmarkAssemble/Disassemble — generated assembler/disassembler
+//	E9  BenchmarkObserverOverhead  — trace hook cost, nil vs metrics observer
 //
 // Run: go test -bench=. -benchmem
 package golisa_test
@@ -19,6 +20,7 @@ import (
 
 	"golisa"
 	"golisa/internal/cosim"
+	"golisa/internal/trace"
 )
 
 // --- kernels (simple16) ---------------------------------------------------------
@@ -707,4 +709,37 @@ func BenchmarkDisassemble(b *testing.B) {
 
 func nowSeconds() float64 {
 	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// --- E9: observability overhead -------------------------------------------------
+
+// BenchmarkObserverOverhead measures the cost of the trace hook sites:
+// "detached" runs with no observer (the nil fast path every hook takes in
+// an uninstrumented simulation), "metrics" with the per-stage/per-op
+// Metrics collector attached. Compare detached against BenchmarkSimSimple16
+// to see the price of having the hooks at all.
+func BenchmarkObserverOverhead(b *testing.B) {
+	m := loadMachine(b, "simple16")
+	for _, v := range []struct {
+		name string
+		obs  func() trace.Observer
+	}{
+		{"detached", func() trace.Observer { return nil }},
+		{"metrics", func() trace.Observer { return trace.NewMetrics() }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, reload := prepSim(b, m, dotKernel, golisa.Compiled)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reload()
+				s.SetObserver(v.obs())
+				b.StartTimer()
+				cycles = runToHalt(b, s, 1_000_000)
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
 }

@@ -4,16 +4,27 @@
 // Usage:
 //
 //	lisa-sim -model simple16 -mode compiled -max 100000 prog.s
-//	lisa-sim -model c62x -trace trace.vcd prog.s
+//	lisa-sim -model c62x -vcd trace.vcd prog.s
+//	lisa-sim -model simple16 -trace out.json -metrics out.txt prog.s
+//
+// -trace writes a Chrome trace-event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) with one track per pipeline stage; -metrics
+// writes a per-stage/per-operation counter snapshot (Prometheus
+// exposition text, or JSON when the file name ends in .json); -vcd
+// writes an IEEE-1364 waveform dump. On simulation errors the last
+// -flight events are dumped to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"golisa/internal/core"
 	"golisa/internal/sim"
+	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
 
@@ -21,7 +32,10 @@ func main() {
 	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
 	modeName := flag.String("mode", "compiled", "simulation mode: interpretive, compiled, prebound")
 	maxSteps := flag.Uint64("max", 1_000_000, "maximum control steps")
-	trace := flag.String("trace", "", "write a VCD trace to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file")
+	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
+	vcdOut := flag.String("vcd", "", "write a VCD waveform trace to this file")
+	flightN := flag.Int("flight", 256, "flight-recorder ring size for post-mortem dumps (0 disables)")
 	dumpRegs := flag.String("regs", "", "comma-free register file to dump after the run (e.g. A)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,23 +62,75 @@ func main() {
 	fail(err)
 	s.OnPrint = func(msg string) { fmt.Println(msg) }
 
-	var traceFile *os.File
-	if *trace != "" {
-		traceFile, err = os.Create(*trace)
+	var observers []trace.Observer
+	var chrome *trace.ChromeTracer
+	if *traceOut != "" {
+		chrome = trace.NewChromeTracer()
+		observers = append(observers, chrome)
+	}
+	var metrics *trace.Metrics
+	if *metricsOut != "" {
+		metrics = trace.NewMetrics()
+		observers = append(observers, metrics)
+	}
+	var flight *trace.Flight
+	if *flightN > 0 {
+		flight = trace.NewFlight(*flightN)
+		observers = append(observers, flight)
+	}
+	// Attach after program load so load-time memory writes stay out of
+	// the recorded event stream.
+	if len(observers) > 0 {
+		s.SetObserver(trace.Fanout(observers...))
+	}
+
+	if *vcdOut != "" {
+		vcdFile, err := os.Create(*vcdOut)
 		fail(err)
-		defer traceFile.Close()
-		w := vcd.New(traceFile, s.S, s.Pipes())
+		defer vcdFile.Close()
+		w := vcd.New(vcdFile, s.S, s.Pipes())
 		w.Header(m.Model.Name)
 		s.OnStep = func(step uint64) { w.Step(step) }
 	}
 
 	n, err := s.Run(*maxSteps)
+	if err != nil && flight != nil {
+		fmt.Fprintln(os.Stderr, "lisa-sim: simulation error, dumping flight recorder:")
+		_ = flight.Dump(os.Stderr)
+	}
 	fail(err)
 	p := s.Profile()
 	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
 	fmt.Printf("; %d control steps (%s mode), halted=%v\n", n, mode, s.Halted())
 	fmt.Printf("; %d decodes, %d decode-cache hits, %d activations\n",
 		p.Decodes, p.DecodeHits, p.Activations)
+	fmt.Printf("; %d stalls, %d flushes, %d shifts, %d packets retired\n",
+		p.Stalls, p.Flushes, p.Shifts, p.Retired)
+	stages := make([]string, 0, len(p.RetiredByStage))
+	for st := range p.RetiredByStage {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		fmt.Printf(";   retired from %s: %d\n", st, p.RetiredByStage[st])
+	}
+
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(chrome.WriteJSON(f))
+		fail(f.Close())
+	}
+	if metrics != nil {
+		f, err := os.Create(*metricsOut)
+		fail(err)
+		if strings.HasSuffix(*metricsOut, ".json") {
+			fail(metrics.WriteJSON(f))
+		} else {
+			fail(metrics.WriteText(f))
+		}
+		fail(f.Close())
+	}
 
 	if *dumpRegs != "" {
 		r := s.M.Resource(*dumpRegs)

@@ -1,13 +1,15 @@
 // lisa-stats prints the paper-§4 model-complexity statistics for a LISA
 // model (experiment E1): resources, operations, instructions, aliases,
-// source lines and lines per operation.
+// source lines and lines per operation, plus the coding-tree shape
+// (decode-tree depth and per-operation coding-width distribution).
 //
 // Usage:
 //
-//	lisa-stats [-model simple16|c62x] [file.lisa]
+//	lisa-stats [-model simple16|c62x] [-json] [file.lisa]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,10 +17,12 @@ import (
 	"strings"
 
 	"golisa/internal/core"
+	"golisa/internal/model"
 )
 
 func main() {
 	modelName := flag.String("model", "", "builtin model name (simple16, c62x, simd16)")
+	asJSON := flag.Bool("json", false, "emit the statistics as JSON")
 	flag.Parse()
 
 	machines := map[string]*core.Machine{}
@@ -44,13 +48,31 @@ func main() {
 		}
 	}
 
+	stats := make([]model.Stats, 0, len(machines))
+	for _, name := range sortedKeys(machines) {
+		stats = append(stats, machines[name].Stats())
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fail(enc.Encode(stats))
+		return
+	}
+
 	fmt.Printf("%-10s %9s %9s %10s %12s %7s %8s %8s\n",
 		"model", "resources", "pipelines", "operations", "instructions", "aliases", "lines", "lines/op")
-	for _, name := range sortedKeys(machines) {
-		st := machines[name].Stats()
+	for _, st := range stats {
 		fmt.Printf("%-10s %9d %9d %10d %12d %7d %8d %8.1f\n",
 			st.ModelName, st.Resources, st.Pipelines, st.Operations,
 			st.Instructions, st.Aliases, st.SourceLines, st.LinesPerOp)
+	}
+	fmt.Printf("\n%-10s %6s %6s %9s %15s %15s %15s\n",
+		"model", "roots", "depth", "coded-ops", "min-coding-bits", "max-coding-bits", "avg-coding-bits")
+	for _, st := range stats {
+		fmt.Printf("%-10s %6d %6d %9d %15d %15d %15.1f\n",
+			st.ModelName, st.CodingRoots, st.CodingDepth, st.CodedOps,
+			st.MinCodingWidth, st.MaxCodingWidth, st.AvgCodingWidth)
 	}
 	fmt.Println("\npaper §4 reference (full TMS320C6201): 54 resources, 256 operations, 156 instructions + 8 aliases, 5362 lines (~21 lines/op)")
 }

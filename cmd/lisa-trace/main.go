@@ -1,0 +1,130 @@
+// lisa-trace replays a program on the cycle-accurate simulator with the
+// full observability stack attached and emits every profile format in one
+// run:
+//
+//	<base>.trace.json   Chrome trace-event JSON (chrome://tracing, Perfetto):
+//	                    one track per pipeline stage, instruction packets
+//	                    as flows, stalls/flushes as instants
+//	<base>.metrics.txt  Prometheus-exposition-style counter snapshot
+//	<base>.metrics.json the same snapshot as machine-readable JSON
+//	<base>.vcd          IEEE-1364 waveform dump (with -vcd)
+//
+// On a simulation error the flight recorder dumps the last -flight events
+// to stderr for post-mortem analysis.
+//
+// Usage:
+//
+//	lisa-trace -model simple16 prog.s            # writes prog.trace.json ...
+//	lisa-trace -model c62x -o /tmp/run -vcd prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+	"golisa/internal/vcd"
+)
+
+func main() {
+	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	modeName := flag.String("mode", "compiled", "simulation mode: interpretive, compiled, prebound")
+	maxSteps := flag.Uint64("max", 1_000_000, "maximum control steps")
+	outBase := flag.String("o", "", "output base name (default: program name without extension)")
+	withVCD := flag.Bool("vcd", false, "also write <base>.vcd")
+	flightN := flag.Int("flight", 256, "flight-recorder ring size for post-mortem dumps")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lisa-trace [-model m] [-mode m] [-o base] prog.s")
+		os.Exit(2)
+	}
+
+	var mode sim.Mode
+	switch *modeName {
+	case "interpretive":
+		mode = sim.Interpretive
+	case "compiled":
+		mode = sim.Compiled
+	case "prebound":
+		mode = sim.CompiledPrebound
+	default:
+		fail(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	progPath := flag.Arg(0)
+	base := *outBase
+	if base == "" {
+		base = strings.TrimSuffix(progPath, ".s")
+	}
+
+	m := loadModel(*modelName)
+	src, err := os.ReadFile(progPath)
+	fail(err)
+	s, prog, err := m.AssembleAndLoad(string(src), mode)
+	fail(err)
+	s.OnPrint = func(msg string) { fmt.Println(msg) }
+
+	chrome := trace.NewChromeTracer()
+	metrics := trace.NewMetrics()
+	flight := trace.NewFlight(*flightN)
+	// Attach after program load so load-time memory writes stay out of
+	// the recorded event stream.
+	s.SetObserver(trace.Fanout(chrome, metrics, flight))
+
+	if *withVCD {
+		vcdFile, err := os.Create(base + ".vcd")
+		fail(err)
+		defer vcdFile.Close()
+		w := vcd.New(vcdFile, s.S, s.Pipes())
+		w.Header(m.Model.Name)
+		s.OnStep = func(step uint64) { w.Step(step) }
+	}
+
+	n, err := s.Run(*maxSteps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-trace: simulation error, dumping flight recorder:")
+		_ = flight.Dump(os.Stderr)
+	}
+	fail(err)
+
+	write := func(name string, emit func(io.Writer) error) {
+		f, err := os.Create(name)
+		fail(err)
+		fail(emit(f))
+		fail(f.Close())
+		fmt.Printf("; wrote %s\n", name)
+	}
+	write(base+".trace.json", chrome.WriteJSON)
+	write(base+".metrics.txt", metrics.WriteText)
+	write(base+".metrics.json", metrics.WriteJSON)
+
+	p := s.Profile()
+	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
+	fmt.Printf("; %d control steps (%s mode), halted=%v, %d trace events\n",
+		n, mode, s.Halted(), chrome.Len())
+	fmt.Printf("; %d decodes (%d cached), %d activations, %d stalls, %d flushes, %d retired\n",
+		p.Decodes, p.DecodeHits, p.Activations, p.Stalls, p.Flushes, p.Retired)
+}
+
+func loadModel(name string) *core.Machine {
+	if m, err := core.LoadBuiltin(name); err == nil {
+		return m
+	}
+	src, err := os.ReadFile(name)
+	fail(err)
+	m, err := core.LoadMachine(name, string(src))
+	fail(err)
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lisa-trace:", err)
+		os.Exit(1)
+	}
+}

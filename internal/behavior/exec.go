@@ -15,6 +15,7 @@ import (
 	"golisa/internal/ast"
 	"golisa/internal/bitvec"
 	"golisa/internal/model"
+	"golisa/internal/trace"
 )
 
 // Context supplies the simulator hooks available to behavior code.
@@ -55,7 +56,12 @@ type Exec struct {
 	// default of 1<<22.
 	Budget int
 
+	// Obs, when non-nil, receives per-operation behavior statement counts
+	// (OnBehavior) for cycle attribution. Nil costs one comparison per Run.
+	Obs trace.Observer
+
 	steps    int
+	stmts    uint64 // monotonically increasing statement counter (tracing)
 	compiled map[*model.Instance]*compiledBehavior
 	conds    map[condKey]cexpr
 }
@@ -128,7 +134,17 @@ func (f *frame) declare(name string, typ ast.TypeSpec, v bitvec.Value) error {
 // Instances without behavior are a no-op.
 func (x *Exec) Run(in *model.Instance) error {
 	x.steps = 0
-	return x.runBehavior(in)
+	if x.Obs == nil {
+		return x.runBehavior(in)
+	}
+	start := x.stmts
+	err := x.runBehavior(in)
+	// Statement counts are inclusive of operations called directly from
+	// behavior code (which re-enter Run and report themselves too).
+	if d := x.stmts - start; d > 0 {
+		x.Obs.OnBehavior(in.Op.Name, d)
+	}
+	return err
 }
 
 func (x *Exec) runBehavior(in *model.Instance) error {
@@ -152,6 +168,7 @@ func (x *Exec) runBehavior(in *model.Instance) error {
 
 func (x *Exec) budget() error {
 	x.steps++
+	x.stmts++
 	limit := x.Budget
 	if limit == 0 {
 		limit = 1 << 22

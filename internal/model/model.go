@@ -267,6 +267,16 @@ type Stats struct {
 	Aliases        int
 	SourceLines    int
 	LinesPerOp     float64
+
+	// Coding-tree shape: number of coding roots, the maximum reference
+	// depth of the decode tree below any root, and the distribution of
+	// per-operation coding widths (operations with a CODING section).
+	CodingRoots    int
+	CodingDepth    int
+	CodedOps       int
+	MinCodingWidth int
+	MaxCodingWidth int
+	AvgCodingWidth float64
 }
 
 // ComputeStats derives the §4 statistics from the database.
@@ -309,7 +319,65 @@ func (m *Model) ComputeStats() Stats {
 	if s.Operations > 0 {
 		s.LinesPerOp = float64(s.SourceLines) / float64(s.Operations)
 	}
+	var widthSum int
+	for _, op := range m.OpList {
+		if op.IsCodingRoot {
+			s.CodingRoots++
+			if d := m.codingDepth(op, map[*Operation]bool{}); d > s.CodingDepth {
+				s.CodingDepth = d
+			}
+		}
+		if op.CodingWidth <= 0 {
+			continue
+		}
+		s.CodedOps++
+		widthSum += op.CodingWidth
+		if s.MinCodingWidth == 0 || op.CodingWidth < s.MinCodingWidth {
+			s.MinCodingWidth = op.CodingWidth
+		}
+		if op.CodingWidth > s.MaxCodingWidth {
+			s.MaxCodingWidth = op.CodingWidth
+		}
+	}
+	if s.CodedOps > 0 {
+		s.AvgCodingWidth = float64(widthSum) / float64(s.CodedOps)
+	}
 	return s
+}
+
+// codingDepth returns the maximum depth of the coding reference tree rooted
+// at op: 1 for an operation whose coding references no other operation,
+// 1 + max(children) otherwise. The visiting set breaks reference cycles.
+func (m *Model) codingDepth(op *Operation, visiting map[*Operation]bool) int {
+	if visiting[op] {
+		return 0
+	}
+	visiting[op] = true
+	defer delete(visiting, op)
+	deepest := 0
+	for _, v := range op.Variants {
+		if v.Coding == nil {
+			continue
+		}
+		for _, e := range v.Coding.Elems {
+			ref, ok := e.(*ast.CodingRef)
+			if !ok {
+				continue
+			}
+			if g, isGroup := op.Groups[ref.Name]; isGroup {
+				for _, mem := range g.Members {
+					if d := m.codingDepth(mem, visiting); d > deepest {
+						deepest = d
+					}
+				}
+			} else if child := m.Ops[ref.Name]; child != nil {
+				if d := m.codingDepth(child, visiting); d > deepest {
+					deepest = d
+				}
+			}
+		}
+	}
+	return 1 + deepest
 }
 
 // hasMnemonic reports whether any variant's syntax contains a literal

@@ -18,6 +18,13 @@ type State struct {
 	// Commit at the end of each control step (last write wins).
 	pendingScalars []pendingScalar
 	pendingElems   []pendingElem
+
+	// OnWrite, when non-nil, observes every scalar resource write in
+	// program order (at issue time, before latch commit). Alias writes
+	// report the underlying resource with the merged value. OnWriteElem
+	// does the same for memory element writes. Nil costs one comparison.
+	OnWrite     func(r *Resource, v bitvec.Value)
+	OnWriteElem func(r *Resource, addr uint64, v bitvec.Value)
 }
 
 type pendingScalar struct {
@@ -112,6 +119,9 @@ func (s *State) Write(r *Resource, v bitvec.Value) {
 		s.Write(r.AliasOf, base.InsertSlice(r.AliasHi, r.AliasLo, v.Uint()))
 		return
 	}
+	if s.OnWrite != nil {
+		s.OnWrite(r, v.Resize(r.Width))
+	}
 	if r.Latch {
 		s.pendingScalars = append(s.pendingScalars, pendingScalar{r, v.Resize(r.Width)})
 		return
@@ -173,6 +183,9 @@ func (s *State) WriteElem(r *Resource, addr uint64, v bitvec.Value) error {
 	i, err := r.elemIndex(addr)
 	if err != nil {
 		return err
+	}
+	if s.OnWriteElem != nil {
+		s.OnWriteElem(r, addr, v.Resize(r.Width))
 	}
 	if r.Latch {
 		s.pendingElems = append(s.pendingElems, pendingElem{r, addr, v.Resize(r.Width)})

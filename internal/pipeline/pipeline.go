@@ -11,7 +11,10 @@
 package pipeline
 
 import (
+	"sync/atomic"
+
 	"golisa/internal/model"
+	"golisa/internal/trace"
 )
 
 // Entry is one scheduled operation instance riding a packet.
@@ -30,11 +33,21 @@ func (e *Entry) Executed() bool { return e.executed }
 // its stage is stalled.
 func (e *Entry) MarkExecuted() { e.executed = true }
 
+// packetSeq issues process-unique packet ids so trace observers can follow
+// one packet across stages and pipelines (id 0 means "no packet").
+var packetSeq atomic.Uint64
+
 // Packet is a group of entries that advance through the pipeline together —
 // the activations belonging to one instruction (or one fetch packet).
 type Packet struct {
 	Entries []*Entry
+
+	// ID uniquely identifies the packet for tracing (flow events).
+	ID uint64
 }
+
+// newPacket allocates a packet with a fresh trace id.
+func newPacket() *Packet { return &Packet{ID: packetSeq.Add(1)} }
 
 // Add appends an entry to the packet.
 func (p *Packet) Add(e *Entry) { p.Entries = append(p.Entries, e) }
@@ -49,9 +62,15 @@ type Pipe struct {
 	shiftReq bool
 
 	// Stats for the profiler / VCD tracer.
-	Shifts  uint64
-	Stalls  uint64
-	Flushes uint64
+	Shifts         uint64
+	Stalls         uint64
+	Flushes        uint64
+	Retires        uint64 // packets retired from the last stage
+	RetiredEntries uint64 // entries carried by retired packets
+
+	// Obs, when non-nil, receives stall/flush/shift/retire events. The
+	// nil check is the only cost when no observer is attached.
+	Obs trace.Observer
 }
 
 // New creates the runtime pipe for a declared pipeline.
@@ -63,7 +82,7 @@ func New(def *model.Pipeline) *Pipe {
 	}
 }
 
-// Reset clears all packets, latches and requests.
+// Reset clears all packets, latches, requests and statistics counters.
 func (p *Pipe) Reset() {
 	for i := range p.Slots {
 		p.Slots[i] = nil
@@ -71,6 +90,8 @@ func (p *Pipe) Reset() {
 	}
 	p.latch = nil
 	p.shiftReq = false
+	p.Shifts, p.Stalls, p.Flushes = 0, 0, 0
+	p.Retires, p.RetiredEntries = 0, 0
 }
 
 // InsertFront merges entries into the stage-0 packet for the current control
@@ -78,7 +99,7 @@ func (p *Pipe) Reset() {
 // stage-assigned operations: the stage-0 ops execute in the same step).
 func (p *Pipe) InsertFront(entries ...*Entry) *Packet {
 	if p.Slots[0] == nil {
-		p.Slots[0] = &Packet{}
+		p.Slots[0] = newPacket()
 	}
 	for _, e := range entries {
 		p.Slots[0].Add(e)
@@ -90,7 +111,7 @@ func (p *Pipe) InsertFront(entries ...*Entry) *Packet {
 // next control step (cross-pipeline activation).
 func (p *Pipe) LatchNext(entries ...*Entry) {
 	if p.latch == nil {
-		p.latch = &Packet{}
+		p.latch = newPacket()
 	}
 	for _, e := range entries {
 		p.latch.Add(e)
@@ -148,6 +169,9 @@ func (p *Pipe) RequestShift() { p.shiftReq = true }
 // whole pipeline.
 func (p *Pipe) Stall(stage int) {
 	p.Stalls++
+	if p.Obs != nil {
+		p.Obs.OnStall(p.Def.Index, stage)
+	}
 	if stage < 0 {
 		for i := range p.stalled {
 			p.stalled[i] = true
@@ -168,6 +192,9 @@ func (p *Pipe) Stalled(stage int) bool {
 // the whole pipeline.
 func (p *Pipe) Flush(stage int) {
 	p.Flushes++
+	if p.Obs != nil {
+		p.Obs.OnFlush(p.Def.Index, stage)
+	}
 	if stage < 0 {
 		for i := range p.Slots {
 			p.Slots[i] = nil
@@ -187,6 +214,9 @@ func (p *Pipe) EndStep() *Packet {
 	var retired *Packet
 	if p.shiftReq {
 		p.Shifts++
+		if p.Obs != nil {
+			p.Obs.OnShift(p.Def.Index)
+		}
 		last := len(p.Slots) - 1
 		if p.Slots[last] != nil && !p.stalled[last] {
 			retired = p.Slots[last]
@@ -206,14 +236,24 @@ func (p *Pipe) EndStep() *Packet {
 		p.stalled[i] = false
 	}
 	p.shiftReq = false
+	if retired != nil {
+		p.Retires++
+		p.RetiredEntries += uint64(len(retired.Entries))
+		if p.Obs != nil {
+			p.Obs.OnRetire(p.Def.Index, len(p.Slots)-1, retired.ID, len(retired.Entries))
+		}
+	}
 	return retired
 }
 
 // Occupancy returns, per stage, whether a packet is present (for tracing).
-func (p *Pipe) Occupancy() []bool {
-	occ := make([]bool, len(p.Slots))
-	for i, pkt := range p.Slots {
-		occ[i] = pkt != nil
+func (p *Pipe) Occupancy() []bool { return p.OccupancyAppend(nil) }
+
+// OccupancyAppend appends per-stage occupancy to buf (the simulator reuses
+// one buffer across control steps to avoid per-cycle allocation).
+func (p *Pipe) OccupancyAppend(buf []bool) []bool {
+	for _, pkt := range p.Slots {
+		buf = append(buf, pkt != nil)
 	}
-	return occ
+	return buf
 }

@@ -14,6 +14,7 @@ import (
 	"golisa/internal/coding"
 	"golisa/internal/model"
 	"golisa/internal/pipeline"
+	"golisa/internal/trace"
 )
 
 // Mode selects the simulation technique.
@@ -50,6 +51,15 @@ type Profile struct {
 	DecodeHits  uint64            // decode-cache hits (compiled modes)
 	Activations uint64            // scheduled activations
 	Retired     uint64            // packets retired from last pipeline stages
+
+	// Pipeline mechanism counts, aggregated over all pipelines.
+	Stalls  uint64 // stall requests (stage or whole-pipe)
+	Flushes uint64 // flush requests
+	Shifts  uint64 // granted shifts
+
+	// RetiredByStage counts retired packets per retiring stage, keyed by
+	// the canonical "pipe.stage" signal name of each pipe's last stage.
+	RetiredByStage map[string]uint64
 }
 
 // runItem is one pending execution with its pipeline context.
@@ -103,6 +113,8 @@ type Simulator struct {
 	cur      runItem // execution context of the instance currently running
 	prof     Profile
 	execs    map[*model.Operation]uint64
+	obs      trace.Observer // nil = uninstrumented fast path
+	occBuf   []bool         // reused occupancy sample buffer
 
 	decodeCache map[decodeKey]*model.Instance
 	staticInst  map[*model.Operation]*model.Instance
@@ -143,12 +155,52 @@ func New(m *model.Model, mode Mode) *Simulator {
 // Mode returns the simulation mode.
 func (s *Simulator) Mode() Mode { return s.mode }
 
-// Profile returns a copy of the collected statistics.
+// SetObserver attaches a trace.Observer to the simulator, the pipelines,
+// the behavior engine and the machine state, or detaches everything when
+// o is nil. The observer receives OnAttach with the model's pipeline
+// topology immediately. With no observer attached every hook site costs
+// one nil check.
+func (s *Simulator) SetObserver(o trace.Observer) {
+	s.obs = o
+	for _, p := range s.pipes {
+		p.Obs = o
+	}
+	if o == nil {
+		s.x.Obs = nil
+		s.S.OnWrite = nil
+		s.S.OnWriteElem = nil
+		return
+	}
+	s.x.Obs = o
+	s.S.OnWrite = func(r *model.Resource, v bitvec.Value) { o.OnResourceWrite(r.Name, v.Uint()) }
+	s.S.OnWriteElem = func(r *model.Resource, addr uint64, v bitvec.Value) { o.OnMemWrite(r.Name, addr, v.Uint()) }
+	infos := make([]trace.PipeInfo, len(s.pipes))
+	for i, p := range s.pipes {
+		infos[i] = trace.PipeInfo{Name: p.Def.Name, Stages: p.Def.Stages}
+	}
+	o.OnAttach(s.M.Name, infos)
+}
+
+// Observer returns the attached observer, or nil.
+func (s *Simulator) Observer() trace.Observer { return s.obs }
+
+// Profile returns a copy of the collected statistics, including the
+// pipeline mechanism counters aggregated from the runtime pipes.
 func (s *Simulator) Profile() Profile {
 	p := s.prof
 	p.Execs = make(map[string]uint64, len(s.execs))
 	for op, v := range s.execs {
 		p.Execs[op.Name] = v
+	}
+	p.RetiredByStage = map[string]uint64{}
+	for _, pipe := range s.pipes {
+		p.Stalls += pipe.Stalls
+		p.Flushes += pipe.Flushes
+		p.Shifts += pipe.Shifts
+		if pipe.Retires > 0 {
+			stages := pipe.Def.Stages
+			p.RetiredByStage[trace.StageTrack(pipe.Def.Name, stages[len(stages)-1])] = pipe.Retires
+		}
 	}
 	return p
 }
@@ -202,6 +254,9 @@ func (s *Simulator) Run(maxSteps uint64) (uint64, error) {
 
 // RunStep executes exactly one control step.
 func (s *Simulator) RunStep() error {
+	if s.obs != nil {
+		s.obs.OnStepBegin(s.step)
+	}
 	for _, p := range s.pipes {
 		p.BeginStep()
 	}
@@ -254,7 +309,14 @@ func (s *Simulator) RunStep() error {
 	}
 
 	// 4. End of step: commit latch writes, shifts, stall clearing,
-	// retirement.
+	// retirement. Occupancy is sampled first, while the packets still sit
+	// in the stages they occupied during this step.
+	if s.obs != nil {
+		for i, p := range s.pipes {
+			s.occBuf = p.OccupancyAppend(s.occBuf[:0])
+			s.obs.OnOccupancy(i, s.occBuf)
+		}
+	}
 	s.S.Commit()
 	for _, p := range s.pipes {
 		if p.EndStep() != nil {
@@ -263,6 +325,9 @@ func (s *Simulator) RunStep() error {
 	}
 	s.step++
 	s.prof.Steps++
+	if s.obs != nil {
+		s.obs.OnStepEnd(s.step - 1)
+	}
 	if s.OnStep != nil {
 		s.OnStep(s.step)
 	}
@@ -329,6 +394,16 @@ func (s *Simulator) execute(it runItem) error {
 	s.cur = it
 	defer func() { s.cur = prev }()
 
+	if s.obs != nil {
+		pipeIdx, pkt := -1, uint64(0)
+		if it.pipe != nil {
+			pipeIdx = it.pipe.Def.Index
+		}
+		if it.packet != nil {
+			pkt = it.packet.ID
+		}
+		s.obs.OnExec(op.Name, pipeIdx, it.stage, pkt)
+	}
 	s.execs[op]++
 	if err := s.runBehavior(in); err != nil {
 		return fmt.Errorf("step %d, operation %s: %w", s.step, op.Name, err)
@@ -360,6 +435,9 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 		key := decodeKey{op, word.Uint()}
 		if in, ok := s.decodeCache[key]; ok {
 			s.prof.DecodeHits++
+			if s.obs != nil {
+				s.obs.OnDecode(op.Name, word.Uint(), true)
+			}
 			return in, nil
 		}
 		in, err := s.dec.DecodeRoot(op, word)
@@ -367,10 +445,16 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 			return nil, err
 		}
 		s.prof.Decodes++
+		if s.obs != nil {
+			s.obs.OnDecode(op.Name, word.Uint(), false)
+		}
 		s.decodeCache[key] = in
 		return in, nil
 	}
 	s.prof.Decodes++
+	if s.obs != nil {
+		s.obs.OnDecode(op.Name, word.Uint(), false)
+	}
 	return s.dec.DecodeRoot(op, word)
 }
 
@@ -489,6 +573,9 @@ func (s *Simulator) resolveActTarget(in *model.Instance, name string) (*model.In
 func (s *Simulator) activate(target *model.Instance, extra int, ctx runItem) {
 	s.prof.Activations++
 	top := target.Op
+	if s.obs != nil {
+		s.obs.OnActivate(top.Name, uint64(extra))
+	}
 	if !top.HasStage() {
 		// Unassigned target: same control step (plus explicit delay).
 		if extra == 0 {

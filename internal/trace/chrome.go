@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeTracer is an Observer buffering Chrome trace-event JSON
+// (loadable in chrome://tracing and Perfetto). Each pipeline stage is
+// rendered as one named track (thread), each operation execution as a
+// 1-cycle slice on its stage's track, and each pipeline packet as a flow
+// connecting its executions across stages, making pipeline bubbles and
+// stalls visible in a browser. One control step maps to 1µs of trace
+// time.
+type ChromeTracer struct {
+	events []chromeEvent
+	tids   map[[2]int]int // (pipe, stage) → tid
+	opsTid int            // track for unassigned operations
+	pipes  []PipeInfo
+	cur    uint64
+	flows  map[uint64]bool // packet ids already started
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	BP    string         `json:"bp,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+// NewChromeTracer creates an empty Chrome trace-event collector.
+func NewChromeTracer() *ChromeTracer {
+	return &ChromeTracer{tids: map[[2]int]int{}, flows: map[uint64]bool{}}
+}
+
+// OnAttach implements Observer: it creates one track per pipeline stage
+// (plus one for unassigned operations) with stable names and ordering.
+func (c *ChromeTracer) OnAttach(model string, pipes []PipeInfo) {
+	c.pipes = pipes
+	c.events = append(c.events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "lisa-sim " + model},
+	})
+	tid := 1
+	for pi, p := range pipes {
+		for si, st := range p.Stages {
+			c.tids[[2]int{pi, si}] = tid
+			c.meta(tid, StageTrack(p.Name, st))
+			tid++
+		}
+	}
+	c.opsTid = tid
+	c.meta(tid, "(unassigned ops)")
+}
+
+func (c *ChromeTracer) meta(tid int, name string) {
+	c.events = append(c.events,
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": name}},
+		chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"sort_index": tid}},
+	)
+}
+
+func (c *ChromeTracer) tid(pipe, stage int) int {
+	if t, ok := c.tids[[2]int{pipe, stage}]; ok {
+		return t
+	}
+	return c.opsTid
+}
+
+// stageTids returns the track ids a (pipe, stage) event maps to; a
+// whole-pipe event (stage -1) maps to every stage track of the pipe.
+func (c *ChromeTracer) stageTids(pipe, stage int) []int {
+	if stage >= 0 {
+		return []int{c.tid(pipe, stage)}
+	}
+	if pipe < 0 || pipe >= len(c.pipes) {
+		return []int{c.opsTid}
+	}
+	tids := make([]int, 0, len(c.pipes[pipe].Stages))
+	for si := range c.pipes[pipe].Stages {
+		tids = append(tids, c.tid(pipe, si))
+	}
+	return tids
+}
+
+func (c *ChromeTracer) ts() float64 { return float64(c.cur) }
+
+// OnStepBegin implements Observer.
+func (c *ChromeTracer) OnStepBegin(step uint64) { c.cur = step }
+
+// OnStepEnd implements Observer.
+func (c *ChromeTracer) OnStepEnd(uint64) {}
+
+// OnOccupancy implements Observer: one counter track per pipeline.
+func (c *ChromeTracer) OnOccupancy(pipe int, occupied []bool) {
+	if pipe < 0 || pipe >= len(c.pipes) {
+		return
+	}
+	n := 0
+	for _, occ := range occupied {
+		if occ {
+			n++
+		}
+	}
+	c.events = append(c.events, chromeEvent{
+		Name: c.pipes[pipe].Name + " occupancy", Ph: "C", Ts: c.ts(),
+		Pid: chromePid, Tid: 0, Args: map[string]any{"packets": n},
+	})
+}
+
+// OnDecode implements Observer.
+func (c *ChromeTracer) OnDecode(root string, word uint64, hit bool) {
+	c.events = append(c.events, chromeEvent{
+		Name: "decode " + root, Cat: "decode", Ph: "i", Ts: c.ts(),
+		Pid: chromePid, Tid: c.opsTid, Scope: "t",
+		Args: map[string]any{"word": fmt.Sprintf("%#x", word), "cache_hit": hit},
+	})
+}
+
+// OnActivate implements Observer (not rendered; activations are visible
+// as the resulting exec slices).
+func (c *ChromeTracer) OnActivate(string, uint64) {}
+
+// OnExec implements Observer: a 1-cycle slice on the stage's track, with
+// a flow event binding the slices of one packet together.
+func (c *ChromeTracer) OnExec(op string, pipe, stage int, packet uint64) {
+	tid := c.tid(pipe, stage)
+	c.events = append(c.events, chromeEvent{
+		Name: op, Cat: "exec", Ph: "X", Ts: c.ts(), Dur: 1,
+		Pid: chromePid, Tid: tid,
+	})
+	if packet == 0 {
+		return
+	}
+	ph := "t"
+	if !c.flows[packet] {
+		c.flows[packet] = true
+		ph = "s"
+	}
+	c.events = append(c.events, chromeEvent{
+		Name: "packet", Cat: "packet", Ph: ph, Ts: c.ts(),
+		Pid: chromePid, Tid: tid, ID: fmt.Sprintf("%#x", packet),
+	})
+}
+
+// OnBehavior implements Observer.
+func (c *ChromeTracer) OnBehavior(string, uint64) {}
+
+// OnStall implements Observer.
+func (c *ChromeTracer) OnStall(pipe, stage int) {
+	for _, tid := range c.stageTids(pipe, stage) {
+		c.events = append(c.events, chromeEvent{
+			Name: "stall", Cat: "hazard", Ph: "i", Ts: c.ts(),
+			Pid: chromePid, Tid: tid, Scope: "t",
+		})
+	}
+}
+
+// OnFlush implements Observer.
+func (c *ChromeTracer) OnFlush(pipe, stage int) {
+	for _, tid := range c.stageTids(pipe, stage) {
+		c.events = append(c.events, chromeEvent{
+			Name: "flush", Cat: "hazard", Ph: "i", Ts: c.ts(),
+			Pid: chromePid, Tid: tid, Scope: "t",
+		})
+	}
+}
+
+// OnShift implements Observer.
+func (c *ChromeTracer) OnShift(int) {}
+
+// OnRetire implements Observer: the packet's flow terminates on the last
+// stage's track.
+func (c *ChromeTracer) OnRetire(pipe, stage int, packet uint64, entries int) {
+	tid := c.tid(pipe, stage)
+	c.events = append(c.events, chromeEvent{
+		Name: "retire", Cat: "retire", Ph: "i", Ts: c.ts(),
+		Pid: chromePid, Tid: tid, Scope: "t",
+		Args: map[string]any{"entries": entries},
+	})
+	if packet != 0 && c.flows[packet] {
+		delete(c.flows, packet)
+		c.events = append(c.events, chromeEvent{
+			Name: "packet", Cat: "packet", Ph: "f", BP: "e", Ts: c.ts(),
+			Pid: chromePid, Tid: tid, ID: fmt.Sprintf("%#x", packet),
+		})
+	}
+}
+
+// OnResourceWrite implements Observer.
+func (c *ChromeTracer) OnResourceWrite(string, uint64) {}
+
+// OnMemWrite implements Observer.
+func (c *ChromeTracer) OnMemWrite(string, uint64, uint64) {}
+
+// Len returns the number of buffered trace events.
+func (c *ChromeTracer) Len() int { return len(c.events) }
+
+// WriteJSON emits the buffered events as a Chrome trace-event JSON object.
+func (c *ChromeTracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: c.events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

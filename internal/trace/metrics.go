@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// StageMetrics accumulates counters for one pipeline stage.
+type StageMetrics struct {
+	Pipe           string `json:"pipe"`
+	Stage          string `json:"stage"`
+	OccupiedCycles uint64 `json:"occupied_cycles"`
+	StallCycles    uint64 `json:"stall_cycles"`
+	Flushes        uint64 `json:"flushes"`
+	Execs          uint64 `json:"execs"`
+	RetiredPackets uint64 `json:"retired_packets"`
+	RetiredEntries uint64 `json:"retired_entries"`
+}
+
+// PipeMetrics accumulates counters for one pipeline.
+type PipeMetrics struct {
+	Name        string          `json:"name"`
+	Stages      []*StageMetrics `json:"stages"`
+	Shifts      uint64          `json:"shifts"`
+	FullStalls  uint64          `json:"full_stalls"`  // stage -1 stall requests
+	FullFlushes uint64          `json:"full_flushes"` // stage -1 flushes
+}
+
+// OpMetrics accumulates the execution histogram of one operation: how
+// often it ran, how many control steps it was active in, and where its
+// cycles went (per-stage attribution: each execution occupies its stage
+// for one control step).
+type OpMetrics struct {
+	Name        string            `json:"name"`
+	Execs       uint64            `json:"execs"`
+	Statements  uint64            `json:"statements"`
+	ActiveSteps uint64            `json:"active_steps"`
+	FirstStep   uint64            `json:"first_step"`
+	LastStep    uint64            `json:"last_step"`
+	StageCycles map[string]uint64 `json:"stage_cycles,omitempty"`
+
+	lastSeen uint64 // lastSeen = step+1 of last exec, 0 = never
+}
+
+// Metrics is an Observer collecting per-stage pipeline metrics and
+// per-operation execution histograms. Zero value is ready to attach.
+type Metrics struct {
+	Model       string                `json:"model"`
+	Steps       uint64                `json:"steps"`
+	Decodes     uint64                `json:"decodes"`
+	DecodeHits  uint64                `json:"decode_hits"`
+	Activations uint64                `json:"activations"`
+	Writes      uint64                `json:"resource_writes"`
+	MemWrites   uint64                `json:"mem_writes"`
+	Pipes       []*PipeMetrics        `json:"pipes"`
+	Ops         map[string]*OpMetrics `json:"ops"`
+
+	cur uint64 // current control step
+}
+
+// NewMetrics creates an empty metrics collector.
+func NewMetrics() *Metrics { return &Metrics{Ops: map[string]*OpMetrics{}} }
+
+func (m *Metrics) op(name string) *OpMetrics {
+	if m.Ops == nil {
+		m.Ops = map[string]*OpMetrics{}
+	}
+	o := m.Ops[name]
+	if o == nil {
+		o = &OpMetrics{Name: name, FirstStep: m.cur}
+		m.Ops[name] = o
+	}
+	return o
+}
+
+func (m *Metrics) stage(pipe, stage int) *StageMetrics {
+	if pipe < 0 || pipe >= len(m.Pipes) {
+		return nil
+	}
+	p := m.Pipes[pipe]
+	if stage < 0 || stage >= len(p.Stages) {
+		return nil
+	}
+	return p.Stages[stage]
+}
+
+// OnAttach implements Observer.
+func (m *Metrics) OnAttach(model string, pipes []PipeInfo) {
+	m.Model = model
+	if m.Ops == nil {
+		m.Ops = map[string]*OpMetrics{}
+	}
+	m.Pipes = m.Pipes[:0]
+	for _, pi := range pipes {
+		pm := &PipeMetrics{Name: pi.Name}
+		for _, st := range pi.Stages {
+			pm.Stages = append(pm.Stages, &StageMetrics{Pipe: pi.Name, Stage: st})
+		}
+		m.Pipes = append(m.Pipes, pm)
+	}
+}
+
+// OnStepBegin implements Observer.
+func (m *Metrics) OnStepBegin(step uint64) { m.cur = step }
+
+// OnStepEnd implements Observer.
+func (m *Metrics) OnStepEnd(uint64) { m.Steps++ }
+
+// OnOccupancy implements Observer.
+func (m *Metrics) OnOccupancy(pipe int, occupied []bool) {
+	if pipe < 0 || pipe >= len(m.Pipes) {
+		return
+	}
+	stages := m.Pipes[pipe].Stages
+	for i, occ := range occupied {
+		if occ && i < len(stages) {
+			stages[i].OccupiedCycles++
+		}
+	}
+}
+
+// OnDecode implements Observer.
+func (m *Metrics) OnDecode(root string, word uint64, hit bool) {
+	m.Decodes++
+	if hit {
+		m.DecodeHits++
+	}
+}
+
+// OnActivate implements Observer.
+func (m *Metrics) OnActivate(string, uint64) { m.Activations++ }
+
+// OnExec implements Observer.
+func (m *Metrics) OnExec(opName string, pipe, stage int, packet uint64) {
+	o := m.op(opName)
+	o.Execs++
+	o.LastStep = m.cur
+	if o.lastSeen != m.cur+1 {
+		o.lastSeen = m.cur + 1
+		o.ActiveSteps++
+	}
+	if s := m.stage(pipe, stage); s != nil {
+		s.Execs++
+		if o.StageCycles == nil {
+			o.StageCycles = map[string]uint64{}
+		}
+		o.StageCycles[StageTrack(s.Pipe, s.Stage)]++
+	}
+}
+
+// OnBehavior implements Observer.
+func (m *Metrics) OnBehavior(opName string, statements uint64) {
+	m.op(opName).Statements += statements
+}
+
+// OnStall implements Observer. A whole-pipe stall (stage -1) counts one
+// stall cycle on every stage plus the pipe's FullStalls counter.
+func (m *Metrics) OnStall(pipe, stage int) {
+	if pipe < 0 || pipe >= len(m.Pipes) {
+		return
+	}
+	p := m.Pipes[pipe]
+	if stage < 0 {
+		p.FullStalls++
+		for _, s := range p.Stages {
+			s.StallCycles++
+		}
+		return
+	}
+	if s := m.stage(pipe, stage); s != nil {
+		s.StallCycles++
+	}
+}
+
+// OnFlush implements Observer.
+func (m *Metrics) OnFlush(pipe, stage int) {
+	if pipe < 0 || pipe >= len(m.Pipes) {
+		return
+	}
+	p := m.Pipes[pipe]
+	if stage < 0 {
+		p.FullFlushes++
+		for _, s := range p.Stages {
+			s.Flushes++
+		}
+		return
+	}
+	if s := m.stage(pipe, stage); s != nil {
+		s.Flushes++
+	}
+}
+
+// OnShift implements Observer.
+func (m *Metrics) OnShift(pipe int) {
+	if pipe >= 0 && pipe < len(m.Pipes) {
+		m.Pipes[pipe].Shifts++
+	}
+}
+
+// OnRetire implements Observer.
+func (m *Metrics) OnRetire(pipe, stage int, packet uint64, entries int) {
+	if s := m.stage(pipe, stage); s != nil {
+		s.RetiredPackets++
+		s.RetiredEntries += uint64(entries)
+	}
+}
+
+// OnResourceWrite implements Observer.
+func (m *Metrics) OnResourceWrite(string, uint64) { m.Writes++ }
+
+// OnMemWrite implements Observer.
+func (m *Metrics) OnMemWrite(string, uint64, uint64) { m.MemWrites++ }
+
+// sortedOps returns operation metrics sorted by name for stable output.
+func (m *Metrics) sortedOps() []*OpMetrics {
+	ops := make([]*OpMetrics, 0, len(m.Ops))
+	for _, o := range m.Ops {
+		ops = append(ops, o)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
+	return ops
+}
+
+// WriteText emits the snapshot in Prometheus exposition format: one
+// `name{labels} value` line per counter.
+func (m *Metrics) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	p := func(format string, args ...any) { fmt.Fprintf(ew, format, args...) }
+	lbl := fmt.Sprintf("{model=%q}", m.Model)
+	p("# TYPE lisa_steps_total counter\n")
+	p("lisa_steps_total%s %d\n", lbl, m.Steps)
+	p("# TYPE lisa_decodes_total counter\n")
+	p("lisa_decodes_total%s %d\n", lbl, m.Decodes)
+	p("# TYPE lisa_decode_cache_hits_total counter\n")
+	p("lisa_decode_cache_hits_total%s %d\n", lbl, m.DecodeHits)
+	p("# TYPE lisa_activations_total counter\n")
+	p("lisa_activations_total%s %d\n", lbl, m.Activations)
+	p("# TYPE lisa_resource_writes_total counter\n")
+	p("lisa_resource_writes_total%s %d\n", lbl, m.Writes)
+	p("# TYPE lisa_mem_writes_total counter\n")
+	p("lisa_mem_writes_total%s %d\n", lbl, m.MemWrites)
+
+	p("# TYPE lisa_pipe_shifts_total counter\n")
+	for _, pm := range m.Pipes {
+		p("lisa_pipe_shifts_total{pipe=%q} %d\n", pm.Name, pm.Shifts)
+	}
+	p("# TYPE lisa_pipe_full_stalls_total counter\n")
+	for _, pm := range m.Pipes {
+		p("lisa_pipe_full_stalls_total{pipe=%q} %d\n", pm.Name, pm.FullStalls)
+	}
+	p("# TYPE lisa_pipe_full_flushes_total counter\n")
+	for _, pm := range m.Pipes {
+		p("lisa_pipe_full_flushes_total{pipe=%q} %d\n", pm.Name, pm.FullFlushes)
+	}
+	for _, counter := range []struct {
+		name string
+		get  func(*StageMetrics) uint64
+	}{
+		{"lisa_stage_occupied_cycles_total", func(s *StageMetrics) uint64 { return s.OccupiedCycles }},
+		{"lisa_stage_stall_cycles_total", func(s *StageMetrics) uint64 { return s.StallCycles }},
+		{"lisa_stage_flushes_total", func(s *StageMetrics) uint64 { return s.Flushes }},
+		{"lisa_stage_execs_total", func(s *StageMetrics) uint64 { return s.Execs }},
+		{"lisa_stage_retired_packets_total", func(s *StageMetrics) uint64 { return s.RetiredPackets }},
+		{"lisa_stage_retired_entries_total", func(s *StageMetrics) uint64 { return s.RetiredEntries }},
+	} {
+		p("# TYPE %s counter\n", counter.name)
+		for _, pm := range m.Pipes {
+			for _, s := range pm.Stages {
+				p("%s{pipe=%q,stage=%q} %d\n", counter.name, s.Pipe, s.Stage, counter.get(s))
+			}
+		}
+	}
+
+	ops := m.sortedOps()
+	p("# TYPE lisa_op_execs_total counter\n")
+	for _, o := range ops {
+		p("lisa_op_execs_total{op=%q} %d\n", o.Name, o.Execs)
+	}
+	p("# TYPE lisa_op_statements_total counter\n")
+	for _, o := range ops {
+		if o.Statements > 0 {
+			p("lisa_op_statements_total{op=%q} %d\n", o.Name, o.Statements)
+		}
+	}
+	p("# TYPE lisa_op_active_steps_total counter\n")
+	for _, o := range ops {
+		p("lisa_op_active_steps_total{op=%q} %d\n", o.Name, o.ActiveSteps)
+	}
+	p("# TYPE lisa_op_stage_cycles_total counter\n")
+	for _, o := range ops {
+		tracks := make([]string, 0, len(o.StageCycles))
+		for t := range o.StageCycles {
+			tracks = append(tracks, t)
+		}
+		sort.Strings(tracks)
+		for _, t := range tracks {
+			p("lisa_op_stage_cycles_total{op=%q,stage=%q} %d\n", o.Name, t, o.StageCycles[t])
+		}
+	}
+	return ew.err
+}
+
+// WriteJSON emits the snapshot as machine-readable JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// errWriter latches the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}

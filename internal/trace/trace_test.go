@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var testPipes = []PipeInfo{{Name: "pipe", Stages: []string{"FE", "DC", "EX", "WB"}}}
+
+// feed drives a small synthetic 3-step simulation into an observer:
+// step 0: decode miss, exec on FE, stage stall, resource write
+// step 1: decode hit, exec on DC (same packet), whole-pipe flush, shift
+// step 2: exec on EX, retire of packet 7, mem write
+func feed(o Observer) {
+	o.OnAttach("m", testPipes)
+
+	o.OnStepBegin(0)
+	o.OnDecode("insn", 0x1234, false)
+	o.OnActivate("add", 1)
+	o.OnExec("fetch", 0, 0, 7)
+	o.OnBehavior("fetch", 3)
+	o.OnStall(0, 1)
+	o.OnResourceWrite("pc", 2)
+	o.OnOccupancy(0, []bool{true, false, false, false})
+	o.OnStepEnd(0)
+
+	o.OnStepBegin(1)
+	o.OnDecode("insn", 0x1234, true)
+	o.OnExec("decode", 0, 1, 7)
+	o.OnFlush(0, -1)
+	o.OnShift(0)
+	o.OnOccupancy(0, []bool{true, true, false, false})
+	o.OnStepEnd(1)
+
+	o.OnStepBegin(2)
+	o.OnExec("alu", 0, 2, 7)
+	o.OnExec("free", -1, -1, 0)
+	o.OnRetire(0, 3, 7, 2)
+	o.OnMemWrite("mem", 0x10, 42)
+	o.OnOccupancy(0, []bool{false, true, true, false})
+	o.OnStepEnd(2)
+}
+
+func TestFanout(t *testing.T) {
+	if Fanout() != nil {
+		t.Error("Fanout() should be nil")
+	}
+	if Fanout(nil, nil) != nil {
+		t.Error("Fanout(nil, nil) should be nil")
+	}
+	m := NewMetrics()
+	if got := Fanout(nil, m); got != Observer(m) {
+		t.Errorf("Fanout with one live observer should return it unwrapped, got %T", got)
+	}
+	f := NewFlight(8)
+	combined := Fanout(m, nil, Fanout(f, NewMetrics()))
+	multi, ok := combined.(Multi)
+	if !ok {
+		t.Fatalf("Fanout of 3 observers = %T, want Multi", combined)
+	}
+	if len(multi) != 3 {
+		t.Errorf("nested Multi not flattened: len = %d, want 3", len(multi))
+	}
+	// Events must reach every member.
+	feed(combined)
+	if m.Steps != 3 {
+		t.Errorf("Multi member Metrics.Steps = %d, want 3", m.Steps)
+	}
+	if len(f.Events()) == 0 {
+		t.Error("Multi member Flight recorded no events")
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := NewMetrics()
+	feed(m)
+
+	if m.Model != "m" {
+		t.Errorf("Model = %q, want m", m.Model)
+	}
+	if m.Steps != 3 || m.Decodes != 2 || m.DecodeHits != 1 || m.Activations != 1 {
+		t.Errorf("Steps/Decodes/Hits/Activations = %d/%d/%d/%d, want 3/2/1/1",
+			m.Steps, m.Decodes, m.DecodeHits, m.Activations)
+	}
+	if m.Writes != 1 || m.MemWrites != 1 {
+		t.Errorf("Writes/MemWrites = %d/%d, want 1/1", m.Writes, m.MemWrites)
+	}
+	if len(m.Pipes) != 1 || len(m.Pipes[0].Stages) != 4 {
+		t.Fatalf("topology not mirrored from OnAttach: %+v", m.Pipes)
+	}
+	p := m.Pipes[0]
+	if p.Shifts != 1 || p.FullStalls != 0 || p.FullFlushes != 1 {
+		t.Errorf("Shifts/FullStalls/FullFlushes = %d/%d/%d, want 1/0/1",
+			p.Shifts, p.FullStalls, p.FullFlushes)
+	}
+	wantOcc := []uint64{2, 2, 1, 0}
+	wantStall := []uint64{0, 1, 0, 0}
+	wantExec := []uint64{1, 1, 1, 0}
+	for i, s := range p.Stages {
+		if s.OccupiedCycles != wantOcc[i] {
+			t.Errorf("stage %s OccupiedCycles = %d, want %d", s.Stage, s.OccupiedCycles, wantOcc[i])
+		}
+		if s.StallCycles != wantStall[i] {
+			t.Errorf("stage %s StallCycles = %d, want %d", s.Stage, s.StallCycles, wantStall[i])
+		}
+		// Whole-pipe flush counts one flush on every stage.
+		if s.Flushes != 1 {
+			t.Errorf("stage %s Flushes = %d, want 1", s.Stage, s.Flushes)
+		}
+		if s.Execs != wantExec[i] {
+			t.Errorf("stage %s Execs = %d, want %d", s.Stage, s.Execs, wantExec[i])
+		}
+	}
+	wb := p.Stages[3]
+	if wb.RetiredPackets != 1 || wb.RetiredEntries != 2 {
+		t.Errorf("WB RetiredPackets/Entries = %d/%d, want 1/2", wb.RetiredPackets, wb.RetiredEntries)
+	}
+
+	fetch := m.Ops["fetch"]
+	if fetch == nil || fetch.Execs != 1 || fetch.Statements != 3 || fetch.ActiveSteps != 1 {
+		t.Fatalf("op fetch = %+v, want Execs=1 Statements=3 ActiveSteps=1", fetch)
+	}
+	if fetch.StageCycles["pipe.FE"] != 1 {
+		t.Errorf("fetch StageCycles[pipe.FE] = %d, want 1", fetch.StageCycles["pipe.FE"])
+	}
+	free := m.Ops["free"]
+	if free == nil || free.Execs != 1 || len(free.StageCycles) != 0 {
+		t.Errorf("unassigned op free = %+v, want 1 exec and no stage cycles", free)
+	}
+	alu := m.Ops["alu"]
+	if alu.FirstStep != 2 || alu.LastStep != 2 {
+		t.Errorf("alu First/LastStep = %d/%d, want 2/2", alu.FirstStep, alu.LastStep)
+	}
+}
+
+func TestMetricsText(t *testing.T) {
+	m := NewMetrics()
+	feed(m)
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lisa_steps_total{model="m"} 3`,
+		`lisa_decodes_total{model="m"} 2`,
+		`lisa_decode_cache_hits_total{model="m"} 1`,
+		`lisa_stage_occupied_cycles_total{pipe="pipe",stage="FE"} 2`,
+		`lisa_stage_stall_cycles_total{pipe="pipe",stage="DC"} 1`,
+		`lisa_pipe_full_flushes_total{pipe="pipe"} 1`,
+		`lisa_stage_retired_entries_total{pipe="pipe",stage="WB"} 2`,
+		`lisa_op_execs_total{op="fetch"} 1`,
+		`lisa_op_statements_total{op="fetch"} 3`,
+		`lisa_op_stage_cycles_total{op="alu",stage="pipe.EX"} 1`,
+		"# TYPE lisa_steps_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q", want)
+		}
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	feed(m)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Metrics
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Steps != m.Steps || back.Decodes != m.Decodes || len(back.Pipes) != len(m.Pipes) {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, m)
+	}
+	if back.Ops["fetch"] == nil || back.Ops["fetch"].Statements != 3 {
+		t.Errorf("op metrics lost in round trip: %+v", back.Ops)
+	}
+}
+
+func TestChromeTracer(t *testing.T) {
+	c := NewChromeTracer()
+	feed(c)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != c.Len() {
+		t.Errorf("traceEvents has %d events, Len() = %d", len(doc.TraceEvents), c.Len())
+	}
+
+	// One thread_name metadata track per stage plus the unassigned track.
+	tracks := map[string]bool{}
+	phases := map[string]int{}
+	var flowPhases []string
+	for _, e := range doc.TraceEvents {
+		ph := e["ph"].(string)
+		phases[ph]++
+		if e["name"] == "thread_name" && ph == "M" {
+			tracks[e["args"].(map[string]any)["name"].(string)] = true
+		}
+		if cat, _ := e["cat"].(string); cat == "packet" {
+			flowPhases = append(flowPhases, ph)
+		}
+	}
+	for _, want := range []string{"pipe.FE", "pipe.DC", "pipe.EX", "pipe.WB", "(unassigned ops)"} {
+		if !tracks[want] {
+			t.Errorf("missing track %q (have %v)", want, tracks)
+		}
+	}
+	// 4 execs → 4 complete slices; decode/stall/flush/retire instants exist.
+	if phases["X"] != 4 {
+		t.Errorf("complete slices = %d, want 4", phases["X"])
+	}
+	if phases["i"] == 0 || phases["C"] == 0 {
+		t.Errorf("missing instant or counter events: %v", phases)
+	}
+	// Packet 7 flows start → through → finish in order.
+	want := []string{"s", "t", "t", "f"}
+	if len(flowPhases) != len(want) {
+		t.Fatalf("flow phases = %v, want %v", flowPhases, want)
+	}
+	for i := range want {
+		if flowPhases[i] != want[i] {
+			t.Errorf("flow phase[%d] = %q, want %q", i, flowPhases[i], want[i])
+		}
+	}
+}
+
+func TestChromeTracerEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewChromeTracer().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Errorf("empty trace must still contain a traceEvents array: %v", doc)
+	}
+}
+
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlight(4)
+	f.OnStepBegin(0)
+	for i := 0; i < 10; i++ {
+		f.OnExec("op", 0, i, uint64(i+1))
+	}
+	ev := f.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring of 4 returned %d events", len(ev))
+	}
+	// Oldest-first: the last 4 of 11 records (step-begin + 10 execs).
+	for i, e := range ev {
+		wantStage := int32(6 + i)
+		if e.Kind != KindExec || e.Stage != wantStage {
+			t.Errorf("event[%d] = %+v, want exec at stage %d", i, e, wantStage)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "last 4 events") || !strings.Contains(out, "exec op") {
+		t.Errorf("Dump output unexpected:\n%s", out)
+	}
+}
+
+func TestFlightEventStrings(t *testing.T) {
+	f := NewFlight(64)
+	feed(f)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"#0 step-begin",
+		"#0 decode insn word=0x1234 hit=false",
+		"#1 decode insn word=0x1234 hit=true",
+		"#0 activate add delay=1",
+		"#0 exec fetch pipe=0 stage=0 packet=0x7",
+		"#0 behavior fetch statements=3",
+		"#0 write pc = 0x2",
+		"#2 retire pipe=0 stage=3 packet=0x7 entries=2",
+		"#2 write mem[0x10] = 0x2a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightMinimumSize(t *testing.T) {
+	f := NewFlight(0)
+	f.OnShift(1)
+	f.OnShift(2)
+	ev := f.Events()
+	if len(ev) != 1 || ev[0].Pipe != 2 {
+		t.Errorf("size-0 ring should clamp to 1 and keep the newest event: %+v", ev)
+	}
+}
+
+func TestNopAndStageTrack(t *testing.T) {
+	// Nop must satisfy the full interface; feed must not panic.
+	var o Observer = Nop{}
+	feed(o)
+	if got := StageTrack("pipe", "EX"); got != "pipe.EX" {
+		t.Errorf("StageTrack = %q, want pipe.EX", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"golisa/internal/model"
 	"golisa/internal/pipeline"
+	"golisa/internal/trace"
 )
 
 // Writer emits a VCD trace.
@@ -75,8 +76,10 @@ func New(w io.Writer, st *model.State, pipes []*pipeline.Pipe) *Writer {
 		for i, stName := range p.Def.Stages {
 			pp, idx := p, i
 			v.signals = append(v.signals, signal{
-				id:    nextID(),
-				name:  p.Def.Name + "." + stName,
+				id: nextID(),
+				// Stage signals share the canonical track naming with the
+				// trace-event and metrics exporters.
+				name:  trace.StageTrack(p.Def.Name, stName),
 				width: 1,
 				read: func() string {
 					if pp.Occupancy()[idx] {

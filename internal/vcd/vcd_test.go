@@ -143,3 +143,90 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+func TestNoPipelines(t *testing.T) {
+	// A model without any PIPELINE must still produce a valid dump.
+	_, st := buildState(t, `RESOURCE { REGISTER int r0; }`)
+	var sb strings.Builder
+	w := New(&sb, st, nil)
+	w.Header("plain")
+	w.Step(0)
+	w.Step(1)
+	out := sb.String()
+	if strings.Contains(out, ".") {
+		t.Errorf("no stage tracks expected without pipelines:\n%s", out)
+	}
+	for _, want := range []string{"$enddefinitions $end", "$dumpvars", "#1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
+
+func TestZeroStagePipeline(t *testing.T) {
+	// A degenerate zero-stage pipeline contributes no signals and must not
+	// panic during header or step emission.
+	_, st := buildState(t, `RESOURCE { REGISTER int r0; }`)
+	empty := pipeline.New(&model.Pipeline{Name: "empty"})
+	var sb strings.Builder
+	w := New(&sb, st, []*pipeline.Pipe{empty})
+	w.Header("t")
+	w.Step(0)
+	w.Step(1)
+	if strings.Contains(sb.String(), "empty") {
+		t.Errorf("zero-stage pipeline must not declare signals:\n%s", sb.String())
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
+
+func TestResourceArraysExcluded(t *testing.T) {
+	// Register files and memories are arrays — neither becomes a VCD
+	// signal, while sibling scalars still do.
+	_, st := buildState(t, `
+RESOURCE {
+  REGISTER int R[8];
+  DATA_MEMORY bit[16] dmem[32];
+  REGISTER bit flag;
+}`)
+	var sb strings.Builder
+	w := New(&sb, st, nil)
+	w.Header("arrays")
+	out := sb.String()
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "$var") {
+			continue
+		}
+		if strings.Contains(line, " R ") || strings.Contains(line, "dmem") {
+			t.Errorf("array resource declared as signal: %q", line)
+		}
+	}
+	if !strings.Contains(out, "flag $end") {
+		t.Errorf("scalar sibling missing from header:\n%s", out)
+	}
+}
+
+func TestRewriteSameValueNoDuplicate(t *testing.T) {
+	// Re-writing a resource with the value it already holds must not
+	// produce a new change record.
+	m, st := buildState(t, `RESOURCE { REGISTER int r0; }`)
+	var sb strings.Builder
+	w := New(&sb, st, nil)
+	w.Header("t")
+	st.Write(m.Resource("r0"), bitvec.FromInt(5, 32))
+	w.Step(0)
+	st.Write(m.Resource("r0"), bitvec.FromInt(5, 32)) // same value again
+	pre := sb.Len()
+	w.Step(1)
+	out := sb.String()[pre:]
+	if strings.Count(out, "\n") != 1 { // only the "#1" timestamp line
+		t.Errorf("unchanged re-write produced change records: %q", out)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+}
