@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"golisa/internal/core"
+	"golisa/internal/cli"
 )
 
 func main() {
@@ -21,20 +21,19 @@ func main() {
 	listing := flag.Bool("listing", false, "print an address/word/disassembly listing")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lisa-as -model <name|file.lisa> prog.s")
-		os.Exit(2)
+		cli.Usage("-model <name|file.lisa> prog.s")
 	}
-	m := loadModel(*modelName)
+	m := cli.LoadModel(*modelName)
 	src, err := os.ReadFile(flag.Arg(0))
-	fail(err)
+	cli.Fail(err)
 	a, err := m.NewAssembler()
-	fail(err)
+	cli.Fail(err)
 	prog, err := a.Assemble(string(src))
-	fail(err)
+	cli.Fail(err)
 
 	if *listing {
 		d, err := m.NewDisassembler()
-		fail(err)
+		cli.Fail(err)
 		for _, line := range d.Listing(prog.Origin, prog.Words) {
 			fmt.Println(line)
 		}
@@ -43,23 +42,5 @@ func main() {
 	fmt.Printf("; origin %#x, %d words\n", prog.Origin, len(prog.Words))
 	for _, w := range prog.Words {
 		fmt.Printf("%0*x\n", (prog.Width+3)/4, w)
-	}
-}
-
-func loadModel(name string) *core.Machine {
-	if m, err := core.LoadBuiltin(name); err == nil {
-		return m
-	}
-	src, err := os.ReadFile(name)
-	fail(err)
-	m, err := core.LoadMachine(name, string(src))
-	fail(err)
-	return m
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-as:", err)
-		os.Exit(1)
 	}
 }

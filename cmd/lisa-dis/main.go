@@ -15,15 +15,15 @@ import (
 	"strconv"
 	"strings"
 
-	"golisa/internal/core"
+	"golisa/internal/cli"
 )
 
 func main() {
 	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
 	flag.Parse()
-	m := loadModel(*modelName)
+	m := cli.LoadModel(*modelName)
 	d, err := m.NewDisassembler()
-	fail(err)
+	cli.Fail(err)
 
 	words := flag.Args()
 	if len(words) == 0 {
@@ -38,29 +38,11 @@ func main() {
 	}
 	for _, ws := range words {
 		w, err := strconv.ParseUint(strings.TrimPrefix(ws, "0x"), 16, 64)
-		fail(err)
+		cli.Fail(err)
 		text, err := d.Disassemble(w)
 		if err != nil {
 			text = fmt.Sprintf(".word 0x%x ; %v", w, err)
 		}
 		fmt.Println(text)
-	}
-}
-
-func loadModel(name string) *core.Machine {
-	if m, err := core.LoadBuiltin(name); err == nil {
-		return m
-	}
-	src, err := os.ReadFile(name)
-	fail(err)
-	m, err := core.LoadMachine(name, string(src))
-	fail(err)
-	return m
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-dis:", err)
-		os.Exit(1)
 	}
 }

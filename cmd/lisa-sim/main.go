@@ -6,12 +6,17 @@
 //	lisa-sim -model simple16 -mode compiled -max 100000 prog.s
 //	lisa-sim -model c62x -vcd trace.vcd prog.s
 //	lisa-sim -model simple16 -trace out.json -metrics out.txt prog.s
+//	lisa-sim -model simple16 -profile out.pb.gz -top 10 prog.s
+//	lisa-sim -model simple16 -http :6060 -http-paused prog.s
 //
 // -trace writes a Chrome trace-event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) with one track per pipeline stage; -metrics
 // writes a per-stage/per-operation counter snapshot (Prometheus
 // exposition text, or JSON when the file name ends in .json); -vcd
-// writes an IEEE-1364 waveform dump. On simulation errors the last
+// writes an IEEE-1364 waveform dump; -profile/-folded/-top attribute
+// simulated cycles to program addresses (pprof protobuf, flamegraph.pl
+// folded stacks, hot-site table); -http serves live introspection and
+// run control while the simulation runs. On simulation errors the last
 // -flight events are dumped to stderr.
 package main
 
@@ -22,83 +27,57 @@ import (
 	"sort"
 	"strings"
 
-	"golisa/internal/core"
-	"golisa/internal/sim"
+	"golisa/internal/cli"
 	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
 
 func main() {
-	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
-	modeName := flag.String("mode", "compiled", "simulation mode: interpretive, compiled, prebound")
-	maxSteps := flag.Uint64("max", 1_000_000, "maximum control steps")
+	var common cli.Common
+	var obs cli.Obs
+	common.Register(flag.CommandLine)
+	obs.Register(flag.CommandLine)
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	vcdOut := flag.String("vcd", "", "write a VCD waveform trace to this file")
-	flightN := flag.Int("flight", 256, "flight-recorder ring size for post-mortem dumps (0 disables)")
-	dumpRegs := flag.String("regs", "", "comma-free register file to dump after the run (e.g. A)")
+	dumpRegs := flag.String("regs", "", "comma-separated register files to dump after the run (e.g. A,B)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lisa-sim [-model m] [-mode m] prog.s")
-		os.Exit(2)
+		cli.Usage("[-model m] [-mode m] prog.s")
 	}
 
-	var mode sim.Mode
-	switch *modeName {
-	case "interpretive":
-		mode = sim.Interpretive
-	case "compiled":
-		mode = sim.Compiled
-	case "prebound":
-		mode = sim.CompiledPrebound
-	default:
-		fail(fmt.Errorf("unknown mode %q", *modeName))
-	}
-
-	m := loadModel(*modelName)
-	src, err := os.ReadFile(flag.Arg(0))
-	fail(err)
+	m, mode := common.Load()
+	progPath := flag.Arg(0)
+	src, err := os.ReadFile(progPath)
+	cli.Fail(err)
 	s, prog, err := m.AssembleAndLoad(string(src), mode)
-	fail(err)
+	cli.Fail(err)
 	s.OnPrint = func(msg string) { fmt.Println(msg) }
 
-	var observers []trace.Observer
+	var extra []trace.Observer
 	var chrome *trace.ChromeTracer
 	if *traceOut != "" {
 		chrome = trace.NewChromeTracer()
-		observers = append(observers, chrome)
+		extra = append(extra, chrome)
 	}
 	var metrics *trace.Metrics
 	if *metricsOut != "" {
 		metrics = trace.NewMetrics()
-		observers = append(observers, metrics)
 	}
-	var flight *trace.Flight
-	if *flightN > 0 {
-		flight = trace.NewFlight(*flightN)
-		observers = append(observers, flight)
-	}
-	// Attach after program load so load-time memory writes stay out of
-	// the recorded event stream.
-	if len(observers) > 0 {
-		s.SetObserver(trace.Fanout(observers...))
-	}
+	sess := obs.Setup(m, s, prog, progPath, metrics, extra...)
 
 	if *vcdOut != "" {
 		vcdFile, err := os.Create(*vcdOut)
-		fail(err)
+		cli.Fail(err)
 		defer vcdFile.Close()
 		w := vcd.New(vcdFile, s.S, s.Pipes())
 		w.Header(m.Model.Name)
 		s.OnStep = func(step uint64) { w.Step(step) }
 	}
 
-	n, err := s.Run(*maxSteps)
-	if err != nil && flight != nil {
-		fmt.Fprintln(os.Stderr, "lisa-sim: simulation error, dumping flight recorder:")
-		_ = flight.Dump(os.Stderr)
-	}
-	fail(err)
+	n, err := s.Run(common.Max)
+	sess.DumpFlightOnError(err)
+	cli.Fail(err)
 	p := s.Profile()
 	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
 	fmt.Printf("; %d control steps (%s mode), halted=%v\n", n, mode, s.Halted())
@@ -117,48 +96,37 @@ func main() {
 
 	if chrome != nil {
 		f, err := os.Create(*traceOut)
-		fail(err)
-		fail(chrome.WriteJSON(f))
-		fail(f.Close())
+		cli.Fail(err)
+		cli.Fail(chrome.WriteJSON(f))
+		cli.Fail(f.Close())
 	}
 	if metrics != nil {
 		f, err := os.Create(*metricsOut)
-		fail(err)
+		cli.Fail(err)
 		if strings.HasSuffix(*metricsOut, ".json") {
-			fail(metrics.WriteJSON(f))
+			cli.Fail(metrics.WriteJSON(f))
 		} else {
-			fail(metrics.WriteText(f))
+			cli.Fail(metrics.WriteText(f))
 		}
-		fail(f.Close())
+		cli.Fail(f.Close())
 	}
 
-	if *dumpRegs != "" {
-		r := s.M.Resource(*dumpRegs)
+	for _, name := range strings.Split(*dumpRegs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r := s.M.Resource(name)
 		if r == nil || !r.IsMemory() {
-			fail(fmt.Errorf("no register file %q", *dumpRegs))
+			cli.Fail(fmt.Errorf("no register file %q", name))
 		}
 		for i := uint64(0); i < r.Total(); i++ {
-			v, err := s.Mem(*dumpRegs, i+r.Base)
-			fail(err)
-			fmt.Printf("%s%-2d = %d\n", *dumpRegs, i, v.Int())
+			v, err := s.Mem(name, i+r.Base)
+			cli.Fail(err)
+			fmt.Printf("%s%-2d = %d\n", name, i, v.Int())
 		}
 	}
-}
 
-func loadModel(name string) *core.Machine {
-	if m, err := core.LoadBuiltin(name); err == nil {
-		return m
-	}
-	src, err := os.ReadFile(name)
-	fail(err)
-	m, err := core.LoadMachine(name, string(src))
-	fail(err)
-	return m
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-sim:", err)
-		os.Exit(1)
-	}
+	sess.Close()
+	sess.Wait()
 }

@@ -13,9 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
+	"golisa/internal/cli"
 	"golisa/internal/core"
 	"golisa/internal/model"
 )
@@ -29,21 +28,17 @@ func main() {
 	switch {
 	case *modelName != "":
 		m, err := core.LoadBuiltin(*modelName)
-		fail(err)
+		cli.Fail(err)
 		machines[*modelName] = m
 	case flag.NArg() > 0:
 		for _, path := range flag.Args() {
-			src, err := os.ReadFile(path)
-			fail(err)
-			name := strings.TrimSuffix(filepath.Base(path), ".lisa")
-			m, err := core.LoadMachine(name, string(src))
-			fail(err)
-			machines[name] = m
+			m := cli.LoadModel(path)
+			machines[m.Model.Name] = m
 		}
 	default:
 		for _, name := range []string{"simple16", "c62x", "simd16"} {
 			m, err := core.LoadBuiltin(name)
-			fail(err)
+			cli.Fail(err)
 			machines[name] = m
 		}
 	}
@@ -56,7 +51,7 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		fail(enc.Encode(stats))
+		cli.Fail(enc.Encode(stats))
 		return
 	}
 
@@ -90,11 +85,4 @@ func sortedKeys(m map[string]*core.Machine) []string {
 		}
 	}
 	return keys
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-stats:", err)
-		os.Exit(1)
-	}
 }

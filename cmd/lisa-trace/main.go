@@ -9,6 +9,8 @@
 //	<base>.metrics.json the same snapshot as machine-readable JSON
 //	<base>.vcd          IEEE-1364 waveform dump (with -vcd)
 //
+// The shared observability flags also apply: -profile/-folded/-top for
+// the target-program cycle profiler and -http for live introspection.
 // On a simulation error the flight recorder dumps the last -flight events
 // to stderr for post-mortem analysis.
 //
@@ -25,35 +27,21 @@ import (
 	"os"
 	"strings"
 
-	"golisa/internal/core"
-	"golisa/internal/sim"
+	"golisa/internal/cli"
 	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
 
 func main() {
-	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
-	modeName := flag.String("mode", "compiled", "simulation mode: interpretive, compiled, prebound")
-	maxSteps := flag.Uint64("max", 1_000_000, "maximum control steps")
+	var common cli.Common
+	var obs cli.Obs
+	common.Register(flag.CommandLine)
+	obs.Register(flag.CommandLine)
 	outBase := flag.String("o", "", "output base name (default: program name without extension)")
 	withVCD := flag.Bool("vcd", false, "also write <base>.vcd")
-	flightN := flag.Int("flight", 256, "flight-recorder ring size for post-mortem dumps")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lisa-trace [-model m] [-mode m] [-o base] prog.s")
-		os.Exit(2)
-	}
-
-	var mode sim.Mode
-	switch *modeName {
-	case "interpretive":
-		mode = sim.Interpretive
-	case "compiled":
-		mode = sim.Compiled
-	case "prebound":
-		mode = sim.CompiledPrebound
-	default:
-		fail(fmt.Errorf("unknown mode %q", *modeName))
+		cli.Usage("[-model m] [-mode m] [-o base] prog.s")
 	}
 
 	progPath := flag.Arg(0)
@@ -62,41 +50,35 @@ func main() {
 		base = strings.TrimSuffix(progPath, ".s")
 	}
 
-	m := loadModel(*modelName)
+	m, mode := common.Load()
 	src, err := os.ReadFile(progPath)
-	fail(err)
+	cli.Fail(err)
 	s, prog, err := m.AssembleAndLoad(string(src), mode)
-	fail(err)
+	cli.Fail(err)
 	s.OnPrint = func(msg string) { fmt.Println(msg) }
 
 	chrome := trace.NewChromeTracer()
 	metrics := trace.NewMetrics()
-	flight := trace.NewFlight(*flightN)
-	// Attach after program load so load-time memory writes stay out of
-	// the recorded event stream.
-	s.SetObserver(trace.Fanout(chrome, metrics, flight))
+	sess := obs.Setup(m, s, prog, progPath, metrics, chrome)
 
 	if *withVCD {
 		vcdFile, err := os.Create(base + ".vcd")
-		fail(err)
+		cli.Fail(err)
 		defer vcdFile.Close()
 		w := vcd.New(vcdFile, s.S, s.Pipes())
 		w.Header(m.Model.Name)
 		s.OnStep = func(step uint64) { w.Step(step) }
 	}
 
-	n, err := s.Run(*maxSteps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-trace: simulation error, dumping flight recorder:")
-		_ = flight.Dump(os.Stderr)
-	}
-	fail(err)
+	n, err := s.Run(common.Max)
+	sess.DumpFlightOnError(err)
+	cli.Fail(err)
 
 	write := func(name string, emit func(io.Writer) error) {
 		f, err := os.Create(name)
-		fail(err)
-		fail(emit(f))
-		fail(f.Close())
+		cli.Fail(err)
+		cli.Fail(emit(f))
+		cli.Fail(f.Close())
 		fmt.Printf("; wrote %s\n", name)
 	}
 	write(base+".trace.json", chrome.WriteJSON)
@@ -109,22 +91,7 @@ func main() {
 		n, mode, s.Halted(), chrome.Len())
 	fmt.Printf("; %d decodes (%d cached), %d activations, %d stalls, %d flushes, %d retired\n",
 		p.Decodes, p.DecodeHits, p.Activations, p.Stalls, p.Flushes, p.Retired)
-}
 
-func loadModel(name string) *core.Machine {
-	if m, err := core.LoadBuiltin(name); err == nil {
-		return m
-	}
-	src, err := os.ReadFile(name)
-	fail(err)
-	m, err := core.LoadMachine(name, string(src))
-	fail(err)
-	return m
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lisa-trace:", err)
-		os.Exit(1)
-	}
+	sess.Close()
+	sess.Wait()
 }

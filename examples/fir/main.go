@@ -12,6 +12,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -27,38 +28,14 @@ const (
 	yBase   = 200 // outputs
 )
 
-const firProgram = `
-; FIR: y[n] = sum_k h[k] * x[n+k], n = 0..M-1
-; B1 = 1, A9 = n, A10 = outer count, A3 = &y[n]
-start:  LDI B1, 1
-        LDI A9, 0
-        LDI A10, 32
-        LDI A3, 200
-outer:  CLRACC
-        LDI A8, 8
-        LDI A4, 0         ; &h[0]
-        LDI A5, 100       ; &x[0]
-        NOP
-        ADD A5, A5, A9    ; &x[n]
-inner:  LD  A6, A4, 0     ; h[k]   (1 load delay slot)
-        LD  A7, A5, 0     ; x[n+k]
-        ADD A4, A4, B1
-        MAC A6, A7
-        ADD A5, A5, B1
-        SUB A8, A8, B1
-        BNZ A8, inner
-        NOP               ; branch delay slot 1
-        NOP               ; branch delay slot 2
-        SAT A6
-        ST  A6, A3, 0     ; y[n]
-        ADD A3, A3, B1
-        ADD A9, A9, B1
-        SUB A10, A10, B1
-        BNZ A10, outer
-        NOP
-        NOP
-        HALT
-`
+// The kernel lives in prog/fir.s (a subdirectory, so the Go toolchain
+// does not mistake it for Go assembly) and the same program also runs
+// standalone:
+//
+//	lisa-sim -model simple16 -profile fir.pb.gz examples/fir/prog/fir.s
+//
+//go:embed prog/fir.s
+var firProgram string
 
 func main() {
 	machine, err := golisa.LoadBuiltin("simple16")

@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]sim.Mode{
+		"interpretive": sim.Interpretive,
+		"compiled":     sim.Compiled,
+		"prebound":     sim.CompiledPrebound,
+	} {
+		got, err := ParseMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestLoadModelBuiltinAndFile(t *testing.T) {
+	if m := LoadModel("simple16"); m.Model.Name != "simple16" {
+		t.Errorf("builtin load gave model %q", m.Model.Name)
+	}
+	// A .lisa file path loads under its base name.
+	src, err := os.ReadFile("../models/simple16.lisa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mycpu.lisa")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m := LoadModel(path); m.Model.Name != "mycpu" {
+		t.Errorf("file load gave model %q, want mycpu", m.Model.Name)
+	}
+}
+
+func TestCommonRegisterDefaults(t *testing.T) {
+	var c Common
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-mode", "interpretive", "-max", "42"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Model != "simple16" || c.Mode != "interpretive" || c.Max != 42 {
+		t.Errorf("parsed Common = %+v", c)
+	}
+}
+
+// TestObsSetup builds the full observability session — flight, profiler
+// and live server on an ephemeral port — runs a program through it, and
+// checks the pieces saw the run.
+func TestObsSetup(t *testing.T) {
+	m, mode := (&Common{Model: "simple16", Mode: "compiled", Max: 1000}).Load()
+	s, prog, err := m.AssembleAndLoad("LDI A1, 7\nHALT\n", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Obs
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o.Register(fs)
+	if err := fs.Parse([]string{"-flight", "16", "-top", "3", "-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	metrics := trace.NewMetrics()
+	sess := o.Setup(m, s, prog, "t.s", metrics)
+	if sess.Flight == nil || sess.Profiler == nil || sess.Server == nil || sess.Metrics != metrics {
+		t.Fatalf("incomplete session: %+v", sess)
+	}
+	if _, err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() {
+		t.Fatal("did not halt")
+	}
+	sess.Server.Finish()
+	if sess.Profiler.Steps() != s.Step() {
+		t.Errorf("profiler saw %d steps, sim ran %d", sess.Profiler.Steps(), s.Step())
+	}
+	if metrics.Steps != s.Step() {
+		t.Errorf("metrics saw %d steps, sim ran %d", metrics.Steps, s.Step())
+	}
+	// The live server is reachable on the ephemeral port.
+	resp, err := http.Get("http://" + sess.srvL.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "lisa_steps_total") {
+		t.Errorf("/metrics missing lisa_steps_total:\n%s", body)
+	}
+}

@@ -1,0 +1,148 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"golisa/internal/asm"
+	"golisa/internal/core"
+	"golisa/internal/debug"
+	"golisa/internal/profile"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// Obs is the observability flag group: flight recorder, target-program
+// profiler and live introspection server. It is defined once here so
+// lisa-sim and lisa-trace expose identical flags.
+type Obs struct {
+	FlightN    int
+	ProfileOut string
+	FoldedOut  string
+	Top        int
+	HTTPAddr   string
+	HTTPPaused bool
+}
+
+// Register defines the flags on fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.IntVar(&o.FlightN, "flight", 256, "flight-recorder ring size for post-mortem dumps (0 disables)")
+	fs.StringVar(&o.ProfileOut, "profile", "", "write a pprof cycle profile (pb.gz, for `go tool pprof`) to this file")
+	fs.StringVar(&o.FoldedOut, "folded", "", "write folded stacks (flamegraph.pl input) to this file")
+	fs.IntVar(&o.Top, "top", 0, "print the N hottest instruction sites after the run")
+	fs.StringVar(&o.HTTPAddr, "http", "", "serve live introspection (metrics, state, run control) on this address, e.g. :6060")
+	fs.BoolVar(&o.HTTPPaused, "http-paused", false, "with -http: start paused at step 0 so breakpoints can be set first")
+}
+
+// Session is one run's observability stack, assembled by Obs.Setup.
+type Session struct {
+	Flight   *trace.Flight
+	Metrics  *trace.Metrics
+	Profiler *profile.Profiler
+	Server   *debug.Server
+
+	obs  Obs
+	srvL net.Listener
+}
+
+// Setup builds the observers requested by the flags, attaches them to the
+// simulator (after program load, so load-time writes stay out of the
+// event stream), and starts the live server when -http is set. metrics
+// may be nil (one is created if the live server needs it); extra
+// observers join the fanout.
+func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, source string, metrics *trace.Metrics, extra ...trace.Observer) *Session {
+	sess := &Session{Metrics: metrics, obs: *o}
+	var observers []trace.Observer
+	observers = append(observers, extra...)
+	if metrics != nil {
+		observers = append(observers, metrics)
+	}
+	if o.FlightN > 0 {
+		sess.Flight = trace.NewFlight(o.FlightN)
+		observers = append(observers, sess.Flight)
+	}
+	if o.ProfileOut != "" || o.FoldedOut != "" || o.Top > 0 || o.HTTPAddr != "" {
+		dis, err := mc.NewDisassembler()
+		Fail(err)
+		sess.Profiler = profile.New(profile.Options{
+			Source: source,
+			Model:  mc.Model.Name,
+			Origin: prog.Origin,
+			Words:  prog.Words,
+			Dis:    dis,
+		})
+		observers = append(observers, sess.Profiler)
+	}
+	if o.HTTPAddr != "" {
+		if sess.Metrics == nil {
+			sess.Metrics = trace.NewMetrics()
+			observers = append(observers, sess.Metrics)
+		}
+		sess.Server = debug.NewServer(s, debug.Options{
+			Metrics:     sess.Metrics,
+			Flight:      sess.Flight,
+			Profiler:    sess.Profiler,
+			StartPaused: o.HTTPPaused,
+		})
+		observers = append(observers, sess.Server.Attach())
+		l, err := net.Listen("tcp", o.HTTPAddr)
+		Fail(err)
+		sess.srvL = l
+		fmt.Fprintf(os.Stderr, "%s: live introspection on http://%s/\n", Tool, l.Addr())
+		go func() { Fail(http.Serve(l, sess.Server.Handler())) }()
+	}
+	if len(observers) > 0 {
+		s.SetObserver(trace.Fanout(observers...))
+	}
+	return sess
+}
+
+// DumpFlightOnError dumps the flight ring to stderr when err is non-nil,
+// so crashed simulations leave a post-mortem trail.
+func (sess *Session) DumpFlightOnError(err error) {
+	if err != nil && sess.Flight != nil {
+		fmt.Fprintf(os.Stderr, "%s: simulation error, dumping flight recorder:\n", Tool)
+		_ = sess.Flight.Dump(os.Stderr)
+	}
+}
+
+// Close finishes the run: it releases pending live-server requests
+// against the final state and writes the requested profiler outputs.
+// Exits on write errors.
+func (sess *Session) Close() {
+	if sess.Server != nil {
+		sess.Server.Finish()
+	}
+	if sess.Profiler == nil {
+		return
+	}
+	write := func(name string, emit func(f *os.File) error) {
+		f, err := os.Create(name)
+		Fail(err)
+		Fail(emit(f))
+		Fail(f.Close())
+		fmt.Printf("; wrote %s\n", name)
+	}
+	if sess.obs.ProfileOut != "" {
+		write(sess.obs.ProfileOut, func(f *os.File) error { return sess.Profiler.WritePprof(f) })
+	}
+	if sess.obs.FoldedOut != "" {
+		write(sess.obs.FoldedOut, func(f *os.File) error { return sess.Profiler.WriteFolded(f) })
+	}
+	if sess.obs.Top > 0 {
+		Fail(sess.Profiler.WriteTop(os.Stdout, sess.obs.Top))
+	}
+}
+
+// Wait blocks forever when a live server is running, so the final state
+// stays inspectable after the run; it returns immediately otherwise.
+func (sess *Session) Wait() {
+	if sess.srvL == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: run finished; still serving http://%s/ (interrupt to exit)\n", Tool, sess.srvL.Addr())
+	select {}
+}

@@ -1,0 +1,88 @@
+package cosim
+
+import (
+	"fmt"
+	"io"
+
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// Lockstep runs a reference simulator of the same model in lockstep with
+// the kernel's CPU — one reference control step per clock cycle — and
+// compares the two architectural states after every cycle. It is the
+// observability side of co-simulation: a compiled simulator can be
+// checked against its interpretive reference (or any two scheduling modes
+// against each other) while the system runs, and the first divergence is
+// reported with full flight-recorder context instead of surfacing as a
+// mysteriously wrong result millions of cycles later.
+//
+// On the first mismatch the device latches Diverged/Detail/Cycle, notes a
+// KindDiverge event in the attached flight recorder, dumps the ring to
+// Out, and invokes OnDivergence. Comparison stops after the first hit so
+// a diverged run does not flood its log.
+type Lockstep struct {
+	// Ref is the reference simulator; it must have been created from the
+	// same model and loaded with the same program as the kernel's CPU.
+	Ref *sim.Simulator
+
+	// Flight, when non-nil, receives a KindDiverge note so post-mortem
+	// dumps show the divergence amid the events that led to it.
+	Flight *trace.Flight
+	// Out, when non-nil, receives the flight-ring dump (and the
+	// divergence detail) the moment a mismatch is found.
+	Out io.Writer
+	// OnDivergence, when non-nil, is called once on the first mismatch.
+	OnDivergence func(cycle uint64, detail string)
+
+	// Diverged, Detail and Cycle record the first mismatch.
+	Diverged bool
+	Detail   string
+	Cycle    uint64
+
+	cpu *sim.Simulator
+}
+
+// NewLockstep creates a lockstep checker comparing the kernel's CPU
+// against a reference simulator of the same model.
+func NewLockstep(cpu, ref *sim.Simulator) *Lockstep {
+	return &Lockstep{Ref: ref, cpu: cpu}
+}
+
+// Name implements Device.
+func (l *Lockstep) Name() string { return "lockstep" }
+
+// Tick implements Device: the kernel has already stepped the CPU for this
+// cycle, so advance the reference by one step and compare.
+func (l *Lockstep) Tick(cycle uint64) {
+	if l.Diverged {
+		return
+	}
+	if !l.Ref.Halted() {
+		if err := l.Ref.RunStep(); err != nil {
+			l.diverge(cycle, fmt.Sprintf("reference simulator error: %v", err))
+			return
+		}
+	}
+	if eq, detail := l.cpu.S.Equal(l.Ref.S); !eq {
+		l.diverge(cycle, detail)
+	}
+}
+
+func (l *Lockstep) diverge(cycle uint64, detail string) {
+	l.Diverged = true
+	l.Detail = detail
+	l.Cycle = cycle
+	if l.Flight != nil {
+		l.Flight.Note(trace.KindDiverge, detail, cycle)
+	}
+	if l.Out != nil {
+		fmt.Fprintf(l.Out, "cosim divergence at cycle %d: %s\n", cycle, detail)
+		if l.Flight != nil {
+			_ = l.Flight.Dump(l.Out)
+		}
+	}
+	if l.OnDivergence != nil {
+		l.OnDivergence(cycle, detail)
+	}
+}

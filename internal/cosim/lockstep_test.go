@@ -1,0 +1,113 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+const lockstepProg = `
+start:  LDI B1, 1
+        LDI A1, 8
+loop:   SUB A1, A1, B1
+        BNZ A1, loop
+        NOP
+        NOP
+        HALT
+`
+
+// lockstepPair builds a compiled CPU and an interpretive reference from
+// the same simple16 program.
+func lockstepPair(t *testing.T) (cpu, ref *sim.Simulator) {
+	t.Helper()
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _, err = m.AssembleAndLoad(lockstepProg, sim.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err = m.AssembleAndLoad(lockstepProg, sim.Interpretive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu, ref
+}
+
+// TestLockstepAgreement runs compiled vs interpretive to completion and
+// expects no divergence: the two scheduling modes are architecturally
+// identical.
+func TestLockstepAgreement(t *testing.T) {
+	cpu, ref := lockstepPair(t)
+	k := New(cpu)
+	ls := NewLockstep(cpu, ref)
+	k.Attach(ls)
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !cpu.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if ls.Diverged {
+		t.Fatalf("spurious divergence at cycle %d: %s", ls.Cycle, ls.Detail)
+	}
+	if !ref.Halted() {
+		t.Error("reference did not track the CPU to the halt")
+	}
+}
+
+// TestLockstepDetectsDivergence corrupts the reference state mid-run and
+// expects the checker to latch the mismatch, note it in the flight ring
+// and dump the ring.
+func TestLockstepDetectsDivergence(t *testing.T) {
+	cpu, ref := lockstepPair(t)
+	flight := trace.NewFlight(32)
+	cpu.SetObserver(flight)
+
+	k := New(cpu)
+	ls := NewLockstep(cpu, ref)
+	ls.Flight = flight
+	var dump strings.Builder
+	ls.Out = &dump
+	var cbCycle uint64
+	calls := 0
+	ls.OnDivergence = func(cycle uint64, detail string) { cbCycle, calls = cycle, calls+1 }
+	k.Attach(ls)
+
+	// A few clean cycles, then poke a register only in the reference.
+	for i := 0; i < 4; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls.Diverged {
+		t.Fatalf("diverged before corruption: %s", ls.Detail)
+	}
+	if err := ref.SetScalar("accu", 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if !ls.Diverged {
+		t.Fatal("corrupted reference not detected")
+	}
+	if !strings.Contains(ls.Detail, "accu") {
+		t.Errorf("detail %q does not name the diverging resource", ls.Detail)
+	}
+	if calls != 1 || cbCycle != ls.Cycle {
+		t.Errorf("OnDivergence calls=%d cycle=%d, want 1 call at cycle %d", calls, cbCycle, ls.Cycle)
+	}
+	out := dump.String()
+	if !strings.Contains(out, "cosim divergence at cycle") || !strings.Contains(out, "flight recorder") {
+		t.Errorf("divergence dump missing header or ring:\n%s", out)
+	}
+	if !strings.Contains(out, "DIVERGE") {
+		t.Errorf("flight ring dump has no DIVERGE event:\n%s", out)
+	}
+}

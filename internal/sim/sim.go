@@ -98,6 +98,12 @@ type Simulator struct {
 	OnPrint func(string)
 	// OnStep runs after every completed control step (tracing hook).
 	OnStep func(step uint64)
+	// Gate, when non-nil, is invoked at the top of every control step,
+	// before any event of that step is emitted, and may block — it is the
+	// run-control seam debuggers use to pause, single-step and break a
+	// simulation driven from another goroutine (see internal/debug). An
+	// ungated simulation pays one nil check per control step.
+	Gate func(step uint64)
 
 	mode    Mode
 	x       *behavior.Exec
@@ -254,6 +260,9 @@ func (s *Simulator) Run(maxSteps uint64) (uint64, error) {
 
 // RunStep executes exactly one control step.
 func (s *Simulator) RunStep() error {
+	if s.Gate != nil {
+		s.Gate(s.step)
+	}
 	if s.obs != nil {
 		s.obs.OnStepBegin(s.step)
 	}

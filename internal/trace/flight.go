@@ -22,6 +22,9 @@ const (
 	KindRetire
 	KindWrite
 	KindMemWrite
+	// KindDiverge marks an externally reported event — a co-simulation
+	// divergence or similar out-of-band note injected with Note.
+	KindDiverge
 )
 
 func (k Kind) String() string {
@@ -50,6 +53,8 @@ func (k Kind) String() string {
 		return "write"
 	case KindMemWrite:
 		return "mem-write"
+	case KindDiverge:
+		return "diverge"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -93,6 +98,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d write %s = %#x", e.Step, e.Name, e.Value)
 	case KindMemWrite:
 		return fmt.Sprintf("#%d write %s[%#x] = %#x", e.Step, e.Name, e.Aux, e.Value)
+	case KindDiverge:
+		return fmt.Sprintf("#%d DIVERGE %s value=%#x", e.Step, e.Name, e.Value)
 	default:
 		return fmt.Sprintf("#%d %s %s%s value=%#x", e.Step, e.Kind, e.Name, loc, e.Value)
 	}
@@ -124,6 +131,13 @@ func (f *Flight) record(e Event) {
 		f.next = 0
 		f.full = true
 	}
+}
+
+// Note records an out-of-band event (e.g. a co-simulation divergence) in
+// the ring at the current step, so post-mortem dumps interleave it with
+// the simulation events that led up to it.
+func (f *Flight) Note(kind Kind, name string, value uint64) {
+	f.record(Event{Kind: kind, Pipe: -1, Name: name, Value: value})
 }
 
 // Events returns the recorded events, oldest first.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // StageMetrics accumulates counters for one pipeline stage.
@@ -223,72 +224,89 @@ func (m *Metrics) sortedOps() []*OpMetrics {
 	return ops
 }
 
-// WriteText emits the snapshot in Prometheus exposition format: one
-// `name{labels} value` line per counter.
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline. (fmt's %q escapes more —
+// tabs, non-ASCII — in ways the exposition format does not define.)
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WriteText emits the snapshot in Prometheus exposition format: a
+// `# HELP` and `# TYPE` header per metric followed by its
+// `name{labels} value` samples.
 func (m *Metrics) WriteText(w io.Writer) error {
 	ew := &errWriter{w: w}
 	p := func(format string, args ...any) { fmt.Fprintf(ew, format, args...) }
-	lbl := fmt.Sprintf("{model=%q}", m.Model)
-	p("# TYPE lisa_steps_total counter\n")
-	p("lisa_steps_total%s %d\n", lbl, m.Steps)
-	p("# TYPE lisa_decodes_total counter\n")
-	p("lisa_decodes_total%s %d\n", lbl, m.Decodes)
-	p("# TYPE lisa_decode_cache_hits_total counter\n")
-	p("lisa_decode_cache_hits_total%s %d\n", lbl, m.DecodeHits)
-	p("# TYPE lisa_activations_total counter\n")
-	p("lisa_activations_total%s %d\n", lbl, m.Activations)
-	p("# TYPE lisa_resource_writes_total counter\n")
-	p("lisa_resource_writes_total%s %d\n", lbl, m.Writes)
-	p("# TYPE lisa_mem_writes_total counter\n")
-	p("lisa_mem_writes_total%s %d\n", lbl, m.MemWrites)
-
-	p("# TYPE lisa_pipe_shifts_total counter\n")
-	for _, pm := range m.Pipes {
-		p("lisa_pipe_shifts_total{pipe=%q} %d\n", pm.Name, pm.Shifts)
+	head := func(name, help string) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s counter\n", name)
 	}
-	p("# TYPE lisa_pipe_full_stalls_total counter\n")
-	for _, pm := range m.Pipes {
-		p("lisa_pipe_full_stalls_total{pipe=%q} %d\n", pm.Name, pm.FullStalls)
-	}
-	p("# TYPE lisa_pipe_full_flushes_total counter\n")
-	for _, pm := range m.Pipes {
-		p("lisa_pipe_full_flushes_total{pipe=%q} %d\n", pm.Name, pm.FullFlushes)
-	}
-	for _, counter := range []struct {
-		name string
-		get  func(*StageMetrics) uint64
+	lbl := fmt.Sprintf(`{model="%s"}`, promEscape(m.Model))
+	for _, c := range []struct {
+		name, help string
+		value      uint64
 	}{
-		{"lisa_stage_occupied_cycles_total", func(s *StageMetrics) uint64 { return s.OccupiedCycles }},
-		{"lisa_stage_stall_cycles_total", func(s *StageMetrics) uint64 { return s.StallCycles }},
-		{"lisa_stage_flushes_total", func(s *StageMetrics) uint64 { return s.Flushes }},
-		{"lisa_stage_execs_total", func(s *StageMetrics) uint64 { return s.Execs }},
-		{"lisa_stage_retired_packets_total", func(s *StageMetrics) uint64 { return s.RetiredPackets }},
-		{"lisa_stage_retired_entries_total", func(s *StageMetrics) uint64 { return s.RetiredEntries }},
+		{"lisa_steps_total", "Control steps simulated.", m.Steps},
+		{"lisa_decodes_total", "Instruction decode attempts.", m.Decodes},
+		{"lisa_decode_cache_hits_total", "Decodes served from the decode cache.", m.DecodeHits},
+		{"lisa_activations_total", "Operation activations scheduled.", m.Activations},
+		{"lisa_resource_writes_total", "Scalar resource writes.", m.Writes},
+		{"lisa_mem_writes_total", "Memory element writes.", m.MemWrites},
 	} {
-		p("# TYPE %s counter\n", counter.name)
+		head(c.name, c.help)
+		p("%s%s %d\n", c.name, lbl, c.value)
+	}
+
+	for _, c := range []struct {
+		name, help string
+		get        func(*PipeMetrics) uint64
+	}{
+		{"lisa_pipe_shifts_total", "Whole-pipeline shift operations.", func(pm *PipeMetrics) uint64 { return pm.Shifts }},
+		{"lisa_pipe_full_stalls_total", "Whole-pipeline stall requests.", func(pm *PipeMetrics) uint64 { return pm.FullStalls }},
+		{"lisa_pipe_full_flushes_total", "Whole-pipeline flushes.", func(pm *PipeMetrics) uint64 { return pm.FullFlushes }},
+	} {
+		head(c.name, c.help)
+		for _, pm := range m.Pipes {
+			p("%s{pipe=\"%s\"} %d\n", c.name, promEscape(pm.Name), c.get(pm))
+		}
+	}
+
+	for _, counter := range []struct {
+		name, help string
+		get        func(*StageMetrics) uint64
+	}{
+		{"lisa_stage_occupied_cycles_total", "Control steps the stage held a packet.", func(s *StageMetrics) uint64 { return s.OccupiedCycles }},
+		{"lisa_stage_stall_cycles_total", "Control steps the stage was stalled.", func(s *StageMetrics) uint64 { return s.StallCycles }},
+		{"lisa_stage_flushes_total", "Packets flushed from the stage.", func(s *StageMetrics) uint64 { return s.Flushes }},
+		{"lisa_stage_execs_total", "Operation executions in the stage.", func(s *StageMetrics) uint64 { return s.Execs }},
+		{"lisa_stage_retired_packets_total", "Packets retired from the stage.", func(s *StageMetrics) uint64 { return s.RetiredPackets }},
+		{"lisa_stage_retired_entries_total", "Instruction entries retired from the stage.", func(s *StageMetrics) uint64 { return s.RetiredEntries }},
+	} {
+		head(counter.name, counter.help)
 		for _, pm := range m.Pipes {
 			for _, s := range pm.Stages {
-				p("%s{pipe=%q,stage=%q} %d\n", counter.name, s.Pipe, s.Stage, counter.get(s))
+				p("%s{pipe=\"%s\",stage=\"%s\"} %d\n", counter.name, promEscape(s.Pipe), promEscape(s.Stage), counter.get(s))
 			}
 		}
 	}
 
 	ops := m.sortedOps()
-	p("# TYPE lisa_op_execs_total counter\n")
+	head("lisa_op_execs_total", "Executions per operation.")
 	for _, o := range ops {
-		p("lisa_op_execs_total{op=%q} %d\n", o.Name, o.Execs)
+		p("lisa_op_execs_total{op=\"%s\"} %d\n", promEscape(o.Name), o.Execs)
 	}
-	p("# TYPE lisa_op_statements_total counter\n")
+	head("lisa_op_statements_total", "Behavior statements run per operation.")
 	for _, o := range ops {
 		if o.Statements > 0 {
-			p("lisa_op_statements_total{op=%q} %d\n", o.Name, o.Statements)
+			p("lisa_op_statements_total{op=\"%s\"} %d\n", promEscape(o.Name), o.Statements)
 		}
 	}
-	p("# TYPE lisa_op_active_steps_total counter\n")
+	head("lisa_op_active_steps_total", "Control steps each operation was active in.")
 	for _, o := range ops {
-		p("lisa_op_active_steps_total{op=%q} %d\n", o.Name, o.ActiveSteps)
+		p("lisa_op_active_steps_total{op=\"%s\"} %d\n", promEscape(o.Name), o.ActiveSteps)
 	}
-	p("# TYPE lisa_op_stage_cycles_total counter\n")
+	head("lisa_op_stage_cycles_total", "Per-stage cycle attribution of each operation.")
 	for _, o := range ops {
 		tracks := make([]string, 0, len(o.StageCycles))
 		for t := range o.StageCycles {
@@ -296,7 +314,7 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		}
 		sort.Strings(tracks)
 		for _, t := range tracks {
-			p("lisa_op_stage_cycles_total{op=%q,stage=%q} %d\n", o.Name, t, o.StageCycles[t])
+			p("lisa_op_stage_cycles_total{op=\"%s\",stage=\"%s\"} %d\n", promEscape(o.Name), promEscape(t), o.StageCycles[t])
 		}
 	}
 	return ew.err
