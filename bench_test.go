@@ -9,17 +9,20 @@
 //	E7  BenchmarkCosim             — co-simulation with devices attached
 //	E8  BenchmarkAssemble/Disassemble — generated assembler/disassembler
 //	E9  BenchmarkObserverOverhead  — trace hook cost, nil vs metrics observer
+//	E10 BenchmarkRecordOverhead    — deterministic record/replay logging cost
 //
 // Run: go test -bench=. -benchmem
 package golisa_test
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
 
 	"golisa"
 	"golisa/internal/cosim"
+	"golisa/internal/replay"
 	"golisa/internal/trace"
 )
 
@@ -735,6 +738,45 @@ func BenchmarkObserverOverhead(b *testing.B) {
 				b.StopTimer()
 				reload()
 				s.SetObserver(v.obs())
+				b.StartTimer()
+				cycles = runToHalt(b, s, 1_000_000)
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
+}
+
+// --- E10: deterministic recording overhead ---------------------------------------
+
+// BenchmarkRecordOverhead measures the cost of lisa-sim -record: a
+// replay.Recorder varint-encoding every control step's events (plus
+// periodic full-state checkpoints) into an io.Discard-backed stream,
+// against the same kernel with no observer attached. The checkpoint
+// cadence variants bound the cadence/overhead trade-off documented in
+// docs/observability.md.
+func BenchmarkRecordOverhead(b *testing.B) {
+	m := loadMachine(b, "simple16")
+	for _, v := range []struct {
+		name  string
+		every uint64
+	}{
+		{"detached", 0},
+		{"record-every1024", 1024},
+		{"record-every64", 64},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, reload := prepSim(b, m, dotKernel, golisa.Compiled)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reload()
+				if v.every == 0 {
+					s.SetObserver(nil)
+				} else {
+					s.SetObserver(replay.NewRecorder(s, m.Source, io.Discard, replay.Options{Every: v.every}))
+				}
 				b.StartTimer()
 				cycles = runToHalt(b, s, 1_000_000)
 			}

@@ -8,6 +8,7 @@
 //	lisa-sim -model simple16 -trace out.json -metrics out.txt prog.s
 //	lisa-sim -model simple16 -profile out.pb.gz -top 10 prog.s
 //	lisa-sim -model simple16 -http :6060 -http-paused prog.s
+//	lisa-sim -model simple16 -record run.lrec prog.s
 //
 // -trace writes a Chrome trace-event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) with one track per pipeline stage; -metrics
@@ -16,8 +17,11 @@
 // writes an IEEE-1364 waveform dump; -profile/-folded/-top attribute
 // simulated cycles to program addresses (pprof protobuf, flamegraph.pl
 // folded stacks, hot-site table); -http serves live introspection and
-// run control while the simulation runs. On simulation errors the last
-// -flight events are dumped to stderr.
+// run control while the simulation runs; -record writes a deterministic
+// .lrec recording for lisa-replay, and with -http also enables the
+// time-travel endpoints (/rstep, /goto, /rcontinue). On simulation
+// errors the last -flight events are dumped to stderr and the partial
+// recording is flushed.
 package main
 
 import (
@@ -75,7 +79,12 @@ func main() {
 		s.OnStep = func(step uint64) { w.Step(step) }
 	}
 
-	n, err := s.Run(common.Max)
+	var n uint64
+	err = sess.Protect(func() error {
+		var rerr error
+		n, rerr = s.Run(common.Max)
+		return rerr
+	})
 	sess.DumpFlightOnError(err)
 	cli.Fail(err)
 	p := s.Profile()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -101,5 +102,76 @@ func TestObsSetup(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "lisa_steps_total") {
 		t.Errorf("/metrics missing lisa_steps_total:\n%s", body)
+	}
+}
+
+// TestObsRecordSetup runs a -record session end to end: the session
+// recorder sees the run, and the written file verifies under replay.
+func TestObsRecordSetup(t *testing.T) {
+	m, mode := (&Common{Model: "simple16", Mode: "compiled", Max: 1000}).Load()
+	s, prog, err := m.AssembleAndLoad("LDI A1, 7\nHALT\n", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.lrec")
+	var o Obs
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o.Register(fs)
+	if err := fs.Parse([]string{"-record", path, "-record-every", "4", "-flight", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	sess := o.Setup(m, s, prog, "t.s", nil)
+	if sess.Recorder == nil {
+		t.Fatal("no recorder in session")
+	}
+	if err := sess.Protect(func() error { _, e := s.Run(1000); return e }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Recorder.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recd, err := OpenRecording(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recd.Complete || recd.FinalStep != s.Step() {
+		t.Fatalf("recording: complete=%v final=%d, sim ran %d", recd.Complete, recd.FinalStep, s.Step())
+	}
+	rp, err := replay.NewReplayer(recd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rp.Verify(); err != nil {
+		t.Fatalf("recorded session does not verify: %v", err)
+	}
+}
+
+// TestOpenRecorderError covers the -record failure path: unwritable
+// paths surface as errors (for the one-line exit), not panics.
+func TestOpenRecorderError(t *testing.T) {
+	m, mode := (&Common{Model: "simple16", Mode: "compiled", Max: 10}).Load()
+	s, _, err := m.AssembleAndLoad("HALT\n", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenRecorder(s, m.Source, filepath.Join(t.TempDir(), "no", "such", "dir", "x.lrec"), 0)
+	if err == nil || !strings.Contains(err.Error(), "-record") {
+		t.Errorf("OpenRecorder error = %v, want -record context", err)
+	}
+}
+
+// TestOpenRecordingError covers the -replay failure paths: missing files
+// and non-recordings surface as errors naming the file.
+func TestOpenRecordingError(t *testing.T) {
+	if _, err := OpenRecording(filepath.Join(t.TempDir(), "missing.lrec")); err == nil {
+		t.Error("OpenRecording accepted a missing file")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.lrec")
+	if err := os.WriteFile(path, []byte("not a recording at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenRecording(path)
+	if err == nil || !strings.Contains(err.Error(), "garbage.lrec") {
+		t.Errorf("OpenRecording error = %v, want file name in context", err)
 	}
 }

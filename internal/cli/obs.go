@@ -11,6 +11,7 @@ import (
 	"golisa/internal/core"
 	"golisa/internal/debug"
 	"golisa/internal/profile"
+	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -19,12 +20,14 @@ import (
 // profiler and live introspection server. It is defined once here so
 // lisa-sim and lisa-trace expose identical flags.
 type Obs struct {
-	FlightN    int
-	ProfileOut string
-	FoldedOut  string
-	Top        int
-	HTTPAddr   string
-	HTTPPaused bool
+	FlightN     int
+	ProfileOut  string
+	FoldedOut   string
+	Top         int
+	HTTPAddr    string
+	HTTPPaused  bool
+	RecordOut   string
+	RecordEvery uint64
 }
 
 // Register defines the flags on fs.
@@ -35,6 +38,8 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.IntVar(&o.Top, "top", 0, "print the N hottest instruction sites after the run")
 	fs.StringVar(&o.HTTPAddr, "http", "", "serve live introspection (metrics, state, run control) on this address, e.g. :6060")
 	fs.BoolVar(&o.HTTPPaused, "http-paused", false, "with -http: start paused at step 0 so breakpoints can be set first")
+	fs.StringVar(&o.RecordOut, "record", "", "record the run to this .lrec file for lisa-replay (and enable time travel with -http)")
+	fs.Uint64Var(&o.RecordEvery, "record-every", 1024, "with -record: control steps between full-state checkpoints")
 }
 
 // Session is one run's observability stack, assembled by Obs.Setup.
@@ -42,6 +47,7 @@ type Session struct {
 	Flight   *trace.Flight
 	Metrics  *trace.Metrics
 	Profiler *profile.Profiler
+	Recorder *replay.Recorder
 	Server   *debug.Server
 
 	obs  Obs
@@ -76,6 +82,12 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 		})
 		observers = append(observers, sess.Profiler)
 	}
+	if o.RecordOut != "" {
+		rec, err := OpenRecorder(s, mc.Source, o.RecordOut, o.RecordEvery)
+		Fail(err)
+		sess.Recorder = rec
+		observers = append(observers, rec)
+	}
 	if o.HTTPAddr != "" {
 		if sess.Metrics == nil {
 			sess.Metrics = trace.NewMetrics()
@@ -85,6 +97,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Metrics:     sess.Metrics,
 			Flight:      sess.Flight,
 			Profiler:    sess.Profiler,
+			Recorder:    sess.Recorder,
 			StartPaused: o.HTTPPaused,
 		})
 		observers = append(observers, sess.Server.Attach())
@@ -100,12 +113,29 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 	return sess
 }
 
+// Protect runs the simulation body under the debug panic guard: if it
+// panics, the flight ring is dumped to stderr and the partial recording
+// flushed (still replayable) before the panic propagates.
+func (sess *Session) Protect(f func() error) error {
+	return debug.Protect(os.Stderr, sess.Flight, sess.Recorder, f)
+}
+
 // DumpFlightOnError dumps the flight ring to stderr when err is non-nil,
-// so crashed simulations leave a post-mortem trail.
+// so crashed simulations leave a post-mortem trail, and flushes the
+// partial recording so the failed run stays replayable.
 func (sess *Session) DumpFlightOnError(err error) {
-	if err != nil && sess.Flight != nil {
+	if err == nil {
+		return
+	}
+	if sess.Flight != nil {
 		fmt.Fprintf(os.Stderr, "%s: simulation error, dumping flight recorder:\n", Tool)
 		_ = sess.Flight.Dump(os.Stderr)
+	}
+	if sess.Recorder != nil {
+		if ferr := sess.Recorder.Flush(); ferr == nil {
+			fmt.Fprintf(os.Stderr, "%s: partial recording %s flushed (replayable up to cycle %d)\n",
+				Tool, sess.obs.RecordOut, sess.Recorder.HighWater())
+		}
 	}
 }
 
@@ -115,6 +145,10 @@ func (sess *Session) DumpFlightOnError(err error) {
 func (sess *Session) Close() {
 	if sess.Server != nil {
 		sess.Server.Finish()
+	}
+	if sess.Recorder != nil {
+		Fail(sess.Recorder.Close())
+		fmt.Printf("; wrote %s\n", sess.obs.RecordOut)
 	}
 	if sess.Profiler == nil {
 		return

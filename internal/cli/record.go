@@ -1,0 +1,25 @@
+package cli
+
+import (
+	"fmt"
+
+	"golisa/internal/replay"
+	"golisa/internal/sim"
+)
+
+// OpenRecorder creates the -record output file and its recorder. It
+// returns an error (for Fail's one-line exit) instead of panicking when
+// the file cannot be created.
+func OpenRecorder(s *sim.Simulator, source, path string, every uint64) (*replay.Recorder, error) {
+	rec, err := replay.Create(s, source, path, replay.Options{Every: every})
+	if err != nil {
+		return nil, fmt.Errorf("-record: %w", err)
+	}
+	return rec, nil
+}
+
+// OpenRecording opens and parses an .lrec recording; failures come back
+// as errors (with the file name in context) for Fail's one-line exit.
+func OpenRecording(path string) (*replay.Recording, error) {
+	return replay.Open(path)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -29,6 +30,17 @@ type Lockstep struct {
 	// Flight, when non-nil, receives a KindDiverge note so post-mortem
 	// dumps show the divergence amid the events that led to it.
 	Flight *trace.Flight
+	// CPURec and RefRec, when non-nil, are the recorders attached to the
+	// CPU and reference simulators. On divergence each recording gets a
+	// divergence note (so lisa-replay shows it in context), and the last
+	// WindowCycles pre-divergence cycles of both event streams are dumped
+	// to Out side by side — the exact schedule each simulator ran, not
+	// just the end-state mismatch.
+	CPURec *replay.Recorder
+	RefRec *replay.Recorder
+	// WindowCycles bounds the pre-divergence window dumped from the
+	// recordings; 0 means the default of 8 cycles.
+	WindowCycles uint64
 	// Out, when non-nil, receives the flight-ring dump (and the
 	// divergence detail) the moment a mismatch is found.
 	Out io.Writer
@@ -76,13 +88,49 @@ func (l *Lockstep) diverge(cycle uint64, detail string) {
 	if l.Flight != nil {
 		l.Flight.Note(trace.KindDiverge, detail, cycle)
 	}
+	if l.CPURec != nil {
+		l.CPURec.Note("cosim divergence: "+detail, cycle)
+	}
+	if l.RefRec != nil {
+		l.RefRec.Note("cosim divergence: "+detail, cycle)
+	}
 	if l.Out != nil {
 		fmt.Fprintf(l.Out, "cosim divergence at cycle %d: %s\n", cycle, detail)
 		if l.Flight != nil {
 			_ = l.Flight.Dump(l.Out)
 		}
+		l.dumpWindow(l.Out, "cpu", l.CPURec, cycle)
+		l.dumpWindow(l.Out, "ref", l.RefRec, cycle)
 	}
 	if l.OnDivergence != nil {
 		l.OnDivergence(cycle, detail)
+	}
+}
+
+// dumpWindow prints the recorded events of the last WindowCycles cycles
+// leading up to (and including) the divergence cycle.
+func (l *Lockstep) dumpWindow(w io.Writer, label string, rec *replay.Recorder, cycle uint64) {
+	if rec == nil {
+		return
+	}
+	window := l.WindowCycles
+	if window == 0 {
+		window = 8
+	}
+	lo := uint64(0)
+	if cycle >= window {
+		lo = cycle - window + 1
+	}
+	fmt.Fprintf(w, "%s recording, cycles %d..%d before divergence:\n", label, lo, cycle)
+	n := 0
+	for _, e := range rec.TailEvents() {
+		if e.Step < lo || e.Step > cycle {
+			continue
+		}
+		fmt.Fprintf(w, "  %s\n", e.String())
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(w, "  (no events in window)\n")
 	}
 }

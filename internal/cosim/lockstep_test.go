@@ -1,10 +1,12 @@
 package cosim
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"golisa/internal/core"
+	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -109,5 +111,74 @@ func TestLockstepDetectsDivergence(t *testing.T) {
 	}
 	if !strings.Contains(out, "DIVERGE") {
 		t.Errorf("flight ring dump has no DIVERGE event:\n%s", out)
+	}
+}
+
+// TestLockstepDivergenceWindow attaches recorders to both simulators and
+// expects the divergence report to include the last pre-divergence cycles
+// from each recording, plus a divergence note inside the recordings
+// themselves.
+func TestLockstepDivergenceWindow(t *testing.T) {
+	cpu, ref := lockstepPair(t)
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpuBuf, refBuf bytes.Buffer
+	cpuRec := replay.NewRecorder(cpu, m.Source, &cpuBuf, replay.Options{Every: 16})
+	refRec := replay.NewRecorder(ref, m.Source, &refBuf, replay.Options{Every: 16})
+	cpu.SetObserver(cpuRec)
+	ref.SetObserver(refRec)
+
+	k := New(cpu)
+	ls := NewLockstep(cpu, ref)
+	ls.CPURec, ls.RefRec, ls.WindowCycles = cpuRec, refRec, 4
+	var dump strings.Builder
+	ls.Out = &dump
+	k.Attach(ls)
+
+	for i := 0; i < 6; i++ {
+		if err := k.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.SetScalar("accu", 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Diverged {
+		t.Fatal("corrupted reference not detected")
+	}
+
+	out := dump.String()
+	for _, want := range []string{"cpu recording, cycles", "ref recording, cycles", "exec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("divergence report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Both recordings carry the divergence note for post-mortem replay.
+	for name, rec := range map[string]*replay.Recorder{"cpu": cpuRec, "ref": refRec} {
+		if err := rec.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for name, buf := range map[string]*bytes.Buffer{"cpu": &cpuBuf, "ref": &refBuf} {
+		recd, err := replay.Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s recording does not parse: %v", name, err)
+		}
+		evs := recd.EventsInRange(0, recd.FinalStep+1)
+		found := false
+		for _, e := range evs {
+			if e.Kind == trace.KindDiverge && strings.Contains(e.Name, "cosim divergence") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s recording has no divergence note", name)
+		}
 	}
 }

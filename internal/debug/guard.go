@@ -1,0 +1,45 @@
+package debug
+
+import (
+	"fmt"
+	"io"
+
+	"golisa/internal/replay"
+	"golisa/internal/trace"
+)
+
+// Protect runs the simulation body f and, if it panics, preserves the
+// observability state before letting the panic continue: the flight ring
+// is dumped to w (the last events leading up to the crash) and the
+// recording is flushed so the partial .lrec on disk stays replayable up
+// to the last completed step. Either of flight and rec may be nil.
+//
+// Wrap the simulation goroutine's body in it:
+//
+//	err := debug.Protect(os.Stderr, flight, rec, func() error {
+//	    _, err := s.Run(max)
+//	    return err
+//	})
+func Protect(w io.Writer, flight *trace.Flight, rec *replay.Recorder, f func() error) error {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if w != nil {
+			fmt.Fprintf(w, "simulation panic: %v\n", r)
+			if flight != nil {
+				_ = flight.Dump(w)
+			}
+		}
+		if rec != nil {
+			if err := rec.Flush(); err != nil && w != nil {
+				fmt.Fprintf(w, "flushing recording: %v\n", err)
+			} else if w != nil {
+				fmt.Fprintf(w, "partial recording flushed (replayable up to cycle %d)\n", rec.HighWater())
+			}
+		}
+		panic(r)
+	}()
+	return f()
+}

@@ -22,6 +22,7 @@ import (
 	"golisa/internal/ast"
 	"golisa/internal/model"
 	"golisa/internal/profile"
+	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -35,6 +36,9 @@ type Options struct {
 	Flight *trace.Flight
 	// Profiler backs GET /profile (pprof protobuf for `go tool pprof`).
 	Profiler *profile.Profiler
+	// Recorder, when the simulation is being recorded, enables the
+	// time-travel endpoints /rstep, /goto and /rcontinue.
+	Recorder *replay.Recorder
 	// StartPaused stops the simulation at its first step boundary so
 	// breakpoints can be placed before any instruction runs.
 	StartPaused bool
@@ -111,6 +115,9 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/step", srv.handleStep)
 	srv.mux.HandleFunc("/break", srv.handleBreak)
 	srv.mux.HandleFunc("/watch", srv.handleWatch)
+	srv.mux.HandleFunc("/rstep", srv.handleRStep)
+	srv.mux.HandleFunc("/goto", srv.handleGoto)
+	srv.mux.HandleFunc("/rcontinue", srv.handleRContinue)
 }
 
 func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -128,6 +135,7 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li>/pause /resume /step?n=N — run control</li>
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
 <li>/watch?resource=NAME[&amp;clear=1] — resource watchpoints</li>
+<li>/rstep?n=N /goto?cycle=C /rcontinue — time travel (needs -record)</li>
 </ul>`, srv.sim.M.Name, srv.sim.M.Name)
 }
 

@@ -49,6 +49,23 @@ type Packet struct {
 // newPacket allocates a packet with a fresh trace id.
 func newPacket() *Packet { return &Packet{ID: packetSeq.Add(1)} }
 
+// NewPacketWithID allocates a packet carrying a specific trace id; the
+// checkpoint-restore path uses it to rebuild recorded packets. Call
+// EnsurePacketSeq afterwards so freshly allocated ids do not collide.
+func NewPacketWithID(id uint64) *Packet { return &Packet{ID: id} }
+
+// EnsurePacketSeq raises the packet id sequence to at least min, so
+// packets created after a checkpoint restore get ids beyond any restored
+// one.
+func EnsurePacketSeq(min uint64) {
+	for {
+		cur := packetSeq.Load()
+		if cur >= min || packetSeq.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
 // Add appends an entry to the packet.
 func (p *Packet) Add(e *Entry) { p.Entries = append(p.Entries, e) }
 
@@ -93,6 +110,13 @@ func (p *Pipe) Reset() {
 	p.Shifts, p.Stalls, p.Flushes = 0, 0, 0
 	p.Retires, p.RetiredEntries = 0, 0
 }
+
+// Latch returns the packet queued for stage-0 insertion at the next
+// BeginStep, or nil (checkpointing).
+func (p *Pipe) Latch() *Packet { return p.latch }
+
+// SetLatch replaces the queued stage-0 insertion (checkpoint restore).
+func (p *Pipe) SetLatch(pkt *Packet) { p.latch = pkt }
 
 // InsertFront merges entries into the stage-0 packet for the current control
 // step (used when an unassigned operation such as main activates

@@ -167,6 +167,24 @@ func (s *Simulator) Mode() Mode { return s.mode }
 // topology immediately. With no observer attached every hook site costs
 // one nil check.
 func (s *Simulator) SetObserver(o trace.Observer) {
+	s.SwapObserver(o)
+	if o == nil {
+		return
+	}
+	infos := make([]trace.PipeInfo, len(s.pipes))
+	for i, p := range s.pipes {
+		infos[i] = trace.PipeInfo{Name: p.Def.Name, Stages: p.Def.Stages}
+	}
+	o.OnAttach(s.M.Name, infos)
+}
+
+// SwapObserver installs (or, with nil, removes) an observer WITHOUT
+// firing OnAttach, and returns the previously attached one. Run-control
+// tooling uses it to detach observers around checkpoint-restore catch-up
+// re-execution and put them back untouched — re-announcing OnAttach would
+// reset stateful observers such as the metrics collector.
+func (s *Simulator) SwapObserver(o trace.Observer) trace.Observer {
+	prev := s.obs
 	s.obs = o
 	for _, p := range s.pipes {
 		p.Obs = o
@@ -175,16 +193,12 @@ func (s *Simulator) SetObserver(o trace.Observer) {
 		s.x.Obs = nil
 		s.S.OnWrite = nil
 		s.S.OnWriteElem = nil
-		return
+		return prev
 	}
 	s.x.Obs = o
 	s.S.OnWrite = func(r *model.Resource, v bitvec.Value) { o.OnResourceWrite(r.Name, v.Uint()) }
 	s.S.OnWriteElem = func(r *model.Resource, addr uint64, v bitvec.Value) { o.OnMemWrite(r.Name, addr, v.Uint()) }
-	infos := make([]trace.PipeInfo, len(s.pipes))
-	for i, p := range s.pipes {
-		infos[i] = trace.PipeInfo{Name: p.Def.Name, Stages: p.Def.Stages}
-	}
-	o.OnAttach(s.M.Name, infos)
+	return prev
 }
 
 // Observer returns the attached observer, or nil.
@@ -695,13 +709,20 @@ func (c *simCtx) CallInstance(in *model.Instance) error {
 
 // --- convenience accessors -------------------------------------------------------
 
-// SetScalar writes a scalar resource by name.
+// SetScalar writes a scalar resource by name. It is the external-input
+// poke API (co-simulation devices, test benches): with an observer
+// attached the write is reported through OnResourceWrite so recorders can
+// capture inputs that do not originate from the model's own behavior.
 func (s *Simulator) SetScalar(name string, v uint64) error {
 	r := s.M.Resource(name)
 	if r == nil || r.IsMemory() {
 		return fmt.Errorf("no scalar resource %s", name)
 	}
-	s.S.WriteNow(r, bitvec.New(v, r.Width))
+	val := bitvec.New(v, r.Width)
+	if s.obs != nil {
+		s.obs.OnResourceWrite(r.Name, val.Uint())
+	}
+	s.S.WriteNow(r, val)
 	return nil
 }
 
