@@ -10,6 +10,7 @@
 //	E8  BenchmarkAssemble/Disassemble — generated assembler/disassembler
 //	E9  BenchmarkObserverOverhead  — trace hook cost, nil vs metrics observer
 //	E10 BenchmarkRecordOverhead    — deterministic record/replay logging cost
+//	E11 BenchmarkAttributionOverhead — hazard attribution analyzer cost
 //
 // Run: go test -bench=. -benchmem
 package golisa_test
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"golisa"
+	"golisa/internal/analyze"
 	"golisa/internal/cosim"
 	"golisa/internal/replay"
 	"golisa/internal/trace"
@@ -777,6 +779,40 @@ func BenchmarkRecordOverhead(b *testing.B) {
 				} else {
 					s.SetObserver(replay.NewRecorder(s, m.Source, io.Discard, replay.Options{Every: v.every}))
 				}
+				b.StartTimer()
+				cycles = runToHalt(b, s, 1_000_000)
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
+}
+
+// --- E11: hazard attribution overhead --------------------------------------------
+
+// BenchmarkAttributionOverhead measures the cost of lisa-sim -analyze:
+// the analyze.Analyzer classifying and bucketing every hazard event
+// against the same kernel with no observer attached. "detached" is the
+// default configuration and must stay indistinguishable from E9's
+// detached variant — the attribution engine lives entirely behind the
+// Observer seam and adds no cost when absent.
+func BenchmarkAttributionOverhead(b *testing.B) {
+	m := loadMachine(b, "simple16")
+	for _, v := range []struct {
+		name string
+		obs  func() trace.Observer
+	}{
+		{"detached", func() trace.Observer { return nil }},
+		{"analyzer", func() trace.Observer { return analyze.New() }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, reload := prepSim(b, m, dotKernel, golisa.Compiled)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reload()
+				s.SetObserver(v.obs())
 				b.StartTimer()
 				cycles = runToHalt(b, s, 1_000_000)
 			}

@@ -9,6 +9,7 @@
 //	lisa-sim -model simple16 -profile out.pb.gz -top 10 prog.s
 //	lisa-sim -model simple16 -http :6060 -http-paused prog.s
 //	lisa-sim -model simple16 -record run.lrec prog.s
+//	lisa-sim -model simple16 -analyze prog.s
 //
 // -trace writes a Chrome trace-event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) with one track per pipeline stage; -metrics
@@ -19,7 +20,10 @@
 // folded stacks, hot-site table); -http serves live introspection and
 // run control while the simulation runs; -record writes a deterministic
 // .lrec recording for lisa-replay, and with -http also enables the
-// time-travel endpoints (/rstep, /goto, /rcontinue). On simulation
+// time-travel endpoints (/rstep, /goto, /rcontinue);
+// -analyze/-analyze-json/-analyze-html print or write the hazard
+// attribution report (per-cause CPI breakdown, stall matrices, what-if
+// estimates — see lisa-report for the standalone tool). On simulation
 // errors the last -flight events are dumped to stderr and the partial
 // recording is flushed.
 package main

@@ -10,7 +10,8 @@
 //	<base>.vcd          IEEE-1364 waveform dump (with -vcd)
 //
 // The shared observability flags also apply: -profile/-folded/-top for
-// the target-program cycle profiler and -http for live introspection.
+// the target-program cycle profiler, -http for live introspection, and
+// -analyze/-analyze-json/-analyze-html for the hazard attribution report.
 // On a simulation error the flight recorder dumps the last -flight events
 // to stderr for post-mortem analysis.
 //

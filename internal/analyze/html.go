@@ -1,0 +1,92 @@
+package analyze
+
+import (
+	"html/template"
+	"io"
+)
+
+// WriteHTML writes the report as a self-contained HTML page (inline CSS,
+// no external assets), suitable for archiving next to a recording.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return reportTmpl.Execute(w, r)
+}
+
+var reportTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct": func(f float64) float64 { return 100 * f },
+	"frac": func(n, den uint64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(den)
+	},
+	"mul": func(a uint64, b int) uint64 { return a * uint64(b) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>hazard attribution — {{.Model}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .5em 0; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
+th { background: #f3f3f3; } td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { display: flex; height: 1.4em; border: 1px solid #999; overflow: hidden; max-width: 40em; }
+.bar span { display: block; height: 100%; }
+.issue { background: #4a90d9; } .data { background: #d94a4a; } .control { background: #e8a33d; }
+.structural { background: #9b59b6; } .explicit { background: #5fb878; } .other { background: #aaa; } .idle { background: #eee; }
+.spark { display: flex; align-items: flex-end; height: 3em; gap: 1px; max-width: 40em; }
+.spark i { display: block; flex: 1 1 0; background: #4a90d9; min-height: 1px; }
+.spark i.s { background: #d94a4a; }
+.legend span { display: inline-block; width: .9em; height: .9em; vertical-align: middle; margin: 0 .3em 0 .9em; border: 1px solid #999; }
+small { color: #666; }
+</style>
+</head>
+<body>
+<h1>hazard attribution — {{.Model}}</h1>
+<p>{{.Steps}} control steps, {{.Dispatches}} dispatches{{if .CPI}}, CPI {{printf "%.3f" .CPI}}{{end}}</p>
+
+<h2>cycle breakdown</h2>
+<div class="bar">{{range .Breakdown}}{{if .Cycles}}<span class="{{.Name}}" style="width: {{printf "%.3f" (pct .Share)}}%" title="{{.Name}}: {{.Cycles}}"></span>{{end}}{{end}}</div>
+<p class="legend">{{range .Breakdown}}{{if .Cycles}}<span class="{{.Name}}"></span>{{.Name}} {{.Cycles}} ({{printf "%.1f" (pct .Share)}}%){{end}}{{end}}</p>
+
+{{if .Events}}<h2>hazard events</h2>
+<table><tr><th>cause</th><th>stalls</th><th>flushes</th></tr>
+{{range .Events}}<tr><td>{{.Cause}}</td><td class="num">{{.Stalls}}</td><td class="num">{{.Flushes}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Resources}}<h2>hot resources</h2>
+<table><tr><th>resource</th><th>events</th></tr>
+{{range .Resources}}<tr><td>{{.Resource}}</td><td class="num">{{.Events}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Sources}}<h2>hot sources</h2>
+<table><tr><th>op</th><th>events</th></tr>
+{{range .Sources}}<tr><td>{{.Op}}</td><td class="num">{{.Events}}</td></tr>
+{{end}}</table>{{end}}
+
+{{if .Pairs}}<h2>stall pairs</h2>
+<table><tr><th>requester</th><th>victim</th><th>stalls</th></tr>
+{{range .Pairs}}<tr><td>{{.Source}}</td><td>{{.Victim}}</td><td class="num">{{.Stalls}}</td></tr>
+{{end}}</table>{{end}}
+
+<h2>per-stage</h2>
+<table><tr><th>pipe/stage</th><th>occupied</th><th>stalls</th><th>flushes</th><th>stall causes</th></tr>
+{{range .Stages}}<tr><td>{{.Pipe}}/{{.Stage}}</td><td class="num">{{.Occupied}}</td><td class="num">{{.Stalls}}</td><td class="num">{{.Flushes}}</td><td>{{range .ByCause}}{{.Name}}:{{.Cycles}} {{end}}</td></tr>
+{{end}}</table>
+
+{{range .Timelines}}<h2>occupancy — pipe {{.Pipe}}</h2>
+<p><small>{{.StepsPerBucket}} step(s) per bucket, {{.Stages}} stages; blue = occupied stage-cycles, red = stalled</small></p>
+{{$den := mul .StepsPerBucket .Stages}}
+<div class="spark">{{range .Occupied}}<i style="height: {{printf "%.1f" (frac . $den)}}%"></i>{{end}}</div>
+<div class="spark">{{range .Stalled}}<i class="s" style="height: {{printf "%.1f" (frac . $den)}}%"></i>{{end}}</div>
+{{end}}
+
+{{if .WhatIf}}<h2>what-if</h2>
+<p><small>one hazard class eliminated, all else unchanged — a first-order upper bound; removing one hazard can expose another hidden behind it</small></p>
+<table><tr><th>cause</th><th>cycles removed</th><th>est. steps</th><th>est. CPI</th><th>speedup</th></tr>
+{{range .WhatIf}}<tr><td>{{.Cause}}</td><td class="num">{{.Penalty}}</td><td class="num">{{.EstSteps}}</td><td class="num">{{printf "%.3f" .EstCPI}}</td><td class="num">{{printf "%.2f" .Speedup}}x</td></tr>
+{{end}}</table>{{end}}
+</body>
+</html>
+`))

@@ -269,18 +269,30 @@ func (c *compiler) compileStmt(s ast.Stmt) (cstmt, error) {
 				return nil, err
 			}
 		}
+		condExpr := st.Cond
 		return func(cs *cstate) error {
 			cv, err := cond(cs)
 			if err != nil {
 				return err
 			}
-			if cv.bool() {
-				return then(cs)
+			body := then
+			if !cv.bool() {
+				body = els
 			}
-			if els != nil {
-				return els(cs)
+			if body == nil {
+				return nil
 			}
-			return nil
+			// Mirror the interpreter's guard tracking exactly, so both
+			// engines attribute hazards identically (replay determinism).
+			track := cs.x.Obs != nil
+			if track {
+				cs.x.guards = append(cs.x.guards, condExpr)
+			}
+			err = body(cs)
+			if track {
+				cs.x.guards = cs.x.guards[:len(cs.x.guards)-1]
+			}
+			return err
 		}, nil
 	case *ast.WhileStmt:
 		cond, err := c.compileExpr(st.Cond)
@@ -437,9 +449,23 @@ func (c *compiler) compileStmt(s ast.Stmt) (cstmt, error) {
 			}
 			cases = append(cases, cc)
 		}
+		tagExpr := st.Tag
 		return func(cs *cstate) error {
 			tv, err := tag(cs)
 			if err != nil {
+				return err
+			}
+			// Runs a case body with the switch tag on the guard stack,
+			// mirroring the interpreter (see execGuardedCase).
+			guarded := func(body cstmt) error {
+				track := cs.x.Obs != nil
+				if track {
+					cs.x.guards = append(cs.x.guards, tagExpr)
+				}
+				err := body(cs)
+				if track {
+					cs.x.guards = cs.x.guards[:len(cs.x.guards)-1]
+				}
 				return err
 			}
 			var deflt cstmt
@@ -455,12 +481,12 @@ func (c *compiler) compileStmt(s ast.Stmt) (cstmt, error) {
 						return err
 					}
 					if vv.v.Uint() == tv.v.Uint() {
-						return cc.body(cs)
+						return guarded(cc.body)
 					}
 				}
 			}
 			if deflt != nil {
-				return deflt(cs)
+				return guarded(deflt)
 			}
 			return nil
 		}, nil

@@ -64,7 +64,19 @@ type Exec struct {
 	stmts    uint64 // monotonically increasing statement counter (tracing)
 	compiled map[*model.Instance]*compiledBehavior
 	conds    map[condKey]cexpr
+
+	// guards is the stack of condition expressions enclosing the statement
+	// currently executing (if conditions, switch tags), maintained only
+	// while an observer is attached. The simulator reads it to classify
+	// pipeline stall/flush requests made from behavior code.
+	guards []ast.Expr
 }
+
+// Guards returns the live stack of condition expressions guarding the
+// currently executing statement, outermost first. The slice is owned by
+// the engine and must not be retained. It is populated only while Obs is
+// non-nil (hazard attribution needs an observer to deliver to).
+func (x *Exec) Guards() []ast.Expr { return x.guards }
 
 // control-flow signals, threaded as errors.
 type ctrlSignal int
@@ -232,13 +244,24 @@ func (x *Exec) execStmt(f *frame, s ast.Stmt) error {
 		if err != nil {
 			return err
 		}
-		if c.bool() {
-			return x.execStmt(f, st.Then)
+		body := st.Then
+		if !c.bool() {
+			body = st.Else
 		}
-		if st.Else != nil {
-			return x.execStmt(f, st.Else)
+		if body == nil {
+			return nil
 		}
-		return nil
+		// Track the guarding condition for hazard attribution (popped on
+		// every exit path, including control-flow signals).
+		track := x.Obs != nil
+		if track {
+			x.guards = append(x.guards, st.Cond)
+		}
+		err = x.execStmt(f, body)
+		if track {
+			x.guards = x.guards[:len(x.guards)-1]
+		}
+		return err
 	case *ast.WhileStmt:
 		for {
 			if err := x.budget(); err != nil {
@@ -331,12 +354,12 @@ func (x *Exec) execStmt(f *frame, s ast.Stmt) error {
 					return err
 				}
 				if cv.v.Uint() == tag.v.Uint() {
-					return x.execCaseBody(f, c)
+					return x.execGuardedCase(f, st.Tag, c)
 				}
 			}
 		}
 		if deflt != nil {
-			return x.execCaseBody(f, deflt)
+			return x.execGuardedCase(f, st.Tag, deflt)
 		}
 		return nil
 	case *ast.BreakStmt:
@@ -353,6 +376,21 @@ func (x *Exec) execStmt(f *frame, s ast.Stmt) error {
 	default:
 		return fmt.Errorf("unhandled statement %T", s)
 	}
+}
+
+// execGuardedCase runs a switch case with the switch tag on the guard
+// stack, so stalls issued inside the case attribute to the tag's
+// resources.
+func (x *Exec) execGuardedCase(f *frame, tag ast.Expr, c *ast.SwitchCase) error {
+	track := x.Obs != nil
+	if track {
+		x.guards = append(x.guards, tag)
+	}
+	err := x.execCaseBody(f, c)
+	if track {
+		x.guards = x.guards[:len(x.guards)-1]
+	}
+	return err
 }
 
 func (x *Exec) execCaseBody(f *frame, c *ast.SwitchCase) error {

@@ -1,0 +1,54 @@
+package behavior
+
+import (
+	"golisa/internal/ast"
+	"golisa/internal/model"
+)
+
+// GuardResources returns the machine resources a condition expression
+// reads, in source order and deduplicated. It is a static approximation
+// used for hazard attribution: an identifier counts when it names a model
+// resource (locals or decoded fields shadowing a resource name are rare in
+// practice and merely shift the attribution, never the timing). Alias
+// resources resolve to themselves; indexed accesses report the indexed
+// resource.
+func GuardResources(m *model.Model, e ast.Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] && m.Resource(name) != nil {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.Ident:
+			add(x.Name)
+		case *ast.IndexExpr:
+			walk(x.X)
+			walk(x.I)
+		case *ast.BitsExpr:
+			walk(x.X)
+			walk(x.Hi)
+			walk(x.Lo)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		case *ast.CondExpr:
+			walk(x.C)
+			walk(x.T)
+			walk(x.F)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 
+	"golisa/internal/analyze"
 	"golisa/internal/asm"
 	"golisa/internal/core"
 	"golisa/internal/debug"
@@ -28,6 +29,9 @@ type Obs struct {
 	HTTPPaused  bool
 	RecordOut   string
 	RecordEvery uint64
+	Analyze     bool
+	AnalyzeJSON string
+	AnalyzeHTML string
 }
 
 // Register defines the flags on fs.
@@ -40,6 +44,14 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.HTTPPaused, "http-paused", false, "with -http: start paused at step 0 so breakpoints can be set first")
 	fs.StringVar(&o.RecordOut, "record", "", "record the run to this .lrec file for lisa-replay (and enable time travel with -http)")
 	fs.Uint64Var(&o.RecordEvery, "record-every", 1024, "with -record: control steps between full-state checkpoints")
+	fs.BoolVar(&o.Analyze, "analyze", false, "print the hazard attribution report (stall/flush causes, CPI breakdown) after the run")
+	fs.StringVar(&o.AnalyzeJSON, "analyze-json", "", "write the hazard attribution report as JSON to this file")
+	fs.StringVar(&o.AnalyzeHTML, "analyze-html", "", "write the hazard attribution report as a self-contained HTML page to this file")
+}
+
+// wantAnalyzer reports whether any flag asked for hazard attribution.
+func (o *Obs) wantAnalyzer() bool {
+	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != ""
 }
 
 // Session is one run's observability stack, assembled by Obs.Setup.
@@ -48,6 +60,7 @@ type Session struct {
 	Metrics  *trace.Metrics
 	Profiler *profile.Profiler
 	Recorder *replay.Recorder
+	Analyzer *analyze.Analyzer
 	Server   *debug.Server
 
 	obs  Obs
@@ -88,6 +101,10 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 		sess.Recorder = rec
 		observers = append(observers, rec)
 	}
+	if o.wantAnalyzer() {
+		sess.Analyzer = analyze.New()
+		observers = append(observers, sess.Analyzer)
+	}
 	if o.HTTPAddr != "" {
 		if sess.Metrics == nil {
 			sess.Metrics = trace.NewMetrics()
@@ -98,6 +115,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Flight:      sess.Flight,
 			Profiler:    sess.Profiler,
 			Recorder:    sess.Recorder,
+			Analyzer:    sess.Analyzer,
 			StartPaused: o.HTTPPaused,
 		})
 		observers = append(observers, sess.Server.Attach())
@@ -150,15 +168,27 @@ func (sess *Session) Close() {
 		Fail(sess.Recorder.Close())
 		fmt.Printf("; wrote %s\n", sess.obs.RecordOut)
 	}
-	if sess.Profiler == nil {
-		return
-	}
 	write := func(name string, emit func(f *os.File) error) {
 		f, err := os.Create(name)
 		Fail(err)
 		Fail(emit(f))
 		Fail(f.Close())
 		fmt.Printf("; wrote %s\n", name)
+	}
+	if sess.Analyzer != nil {
+		rep := sess.Analyzer.Report()
+		if sess.obs.Analyze {
+			Fail(rep.WriteText(os.Stdout))
+		}
+		if sess.obs.AnalyzeJSON != "" {
+			write(sess.obs.AnalyzeJSON, func(f *os.File) error { return rep.WriteJSON(f) })
+		}
+		if sess.obs.AnalyzeHTML != "" {
+			write(sess.obs.AnalyzeHTML, func(f *os.File) error { return rep.WriteHTML(f) })
+		}
+	}
+	if sess.Profiler == nil {
+		return
 	}
 	if sess.obs.ProfileOut != "" {
 		write(sess.obs.ProfileOut, func(f *os.File) error { return sess.Profiler.WritePprof(f) })

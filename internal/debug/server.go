@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"golisa/internal/analyze"
 	"golisa/internal/ast"
 	"golisa/internal/model"
 	"golisa/internal/profile"
@@ -36,6 +37,8 @@ type Options struct {
 	Flight *trace.Flight
 	// Profiler backs GET /profile (pprof protobuf for `go tool pprof`).
 	Profiler *profile.Profiler
+	// Analyzer backs GET /analyze (hazard attribution report).
+	Analyzer *analyze.Analyzer
 	// Recorder, when the simulation is being recorded, enables the
 	// time-travel endpoints /rstep, /goto and /rcontinue.
 	Recorder *replay.Recorder
@@ -109,6 +112,7 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/state", srv.handleState)
 	srv.mux.HandleFunc("/flight", srv.handleFlight)
 	srv.mux.HandleFunc("/profile", srv.handleProfile)
+	srv.mux.HandleFunc("/analyze", srv.handleAnalyze)
 	srv.mux.HandleFunc("/mem", srv.handleMem)
 	srv.mux.HandleFunc("/pause", srv.handlePause)
 	srv.mux.HandleFunc("/resume", srv.handleResume)
@@ -131,6 +135,7 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/state">/state</a> — pipeline/register snapshot (JSON)</li>
 <li><a href="/flight">/flight</a> — flight-recorder ring</li>
 <li><a href="/profile">/profile</a> — pprof profile (go tool pprof http://HOST/profile)</li>
+<li><a href="/analyze">/analyze</a> — hazard attribution report (?format=json|text|html)</li>
 <li>/mem?name=MEM&amp;addr=A&amp;n=N — memory window</li>
 <li>/pause /resume /step?n=N — run control</li>
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
@@ -191,6 +196,38 @@ func (srv *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="profile.pb.gz"`)
 	_, _ = w.Write(raw)
+}
+
+func (srv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if srv.opts.Analyzer == nil {
+		http.Error(w, "no hazard analyzer attached", http.StatusNotFound)
+		return
+	}
+	// Snapshot on the simulation goroutine, render off it.
+	var rep *analyze.Report
+	srv.ctrl.Do(func() { rep = srv.opts.Analyzer.Report() })
+	var buf strings.Builder
+	var err error
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = rep.WriteJSON(&buf)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = rep.WriteText(&buf)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err = rep.WriteHTML(&buf)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want json, text or html)", format), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprint(w, buf.String())
 }
 
 // --- state snapshot -------------------------------------------------------------

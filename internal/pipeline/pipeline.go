@@ -191,10 +191,16 @@ func (p *Pipe) RequestShift() { p.shiftReq = true }
 
 // Stall holds the given stage for the current step; stage -1 stalls the
 // whole pipeline.
-func (p *Pipe) Stall(stage int) {
+func (p *Pipe) Stall(stage int) { p.StallCause(stage, trace.StallInfo{}) }
+
+// StallCause is Stall carrying the request's hazard attribution. The
+// pipe/stage fields of info are overwritten; cause-aware observers receive
+// the full info, legacy observers the plain OnStall, via the trace shim.
+func (p *Pipe) StallCause(stage int, info trace.StallInfo) {
 	p.Stalls++
 	if p.Obs != nil {
-		p.Obs.OnStall(p.Def.Index, stage)
+		info.Pipe, info.Stage = p.Def.Index, stage
+		trace.EmitStall(p.Obs, info)
 	}
 	if stage < 0 {
 		for i := range p.stalled {
@@ -214,10 +220,14 @@ func (p *Pipe) Stalled(stage int) bool {
 
 // Flush clears the packet in the given stage immediately; stage -1 clears
 // the whole pipeline.
-func (p *Pipe) Flush(stage int) {
+func (p *Pipe) Flush(stage int) { p.FlushCause(stage, trace.StallInfo{}) }
+
+// FlushCause is Flush carrying the request's hazard attribution.
+func (p *Pipe) FlushCause(stage int, info trace.StallInfo) {
 	p.Flushes++
 	if p.Obs != nil {
-		p.Obs.OnFlush(p.Def.Index, stage)
+		info.Pipe, info.Stage = p.Def.Index, stage
+		trace.EmitFlush(p.Obs, info)
 	}
 	if stage < 0 {
 		for i := range p.Slots {

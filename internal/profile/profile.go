@@ -56,6 +56,10 @@ type Site struct {
 	StallEvents   uint64 // stall requests raised while this site was current
 	FlushEvents   uint64 // flushes raised while this site was current
 
+	// StallCauses splits StallEvents by hazard cause when the emitter
+	// provides attribution (see trace.HazardObserver).
+	StallCauses map[string]uint64
+
 	// Ops counts per-operation stage cycles for executions whose pipeline
 	// packet was linked back to this site's dispatch.
 	Ops map[string]uint64
@@ -240,6 +244,23 @@ func (p *Profiler) OnFlush(pipe, stage int) {
 	}
 }
 
+// OnStallInfo implements trace.HazardObserver: the event is counted like
+// an uncaused stall, plus a per-cause split on the current site so reports
+// can say which hazard class an instruction pays for.
+func (p *Profiler) OnStallInfo(info trace.StallInfo) {
+	p.OnStall(info.Pipe, info.Stage)
+	if p.last == nil || info.Cause == trace.CauseNone {
+		return
+	}
+	if p.last.StallCauses == nil {
+		p.last.StallCauses = map[string]uint64{}
+	}
+	p.last.StallCauses[info.Cause.String()]++
+}
+
+// OnFlushInfo implements trace.HazardObserver.
+func (p *Profiler) OnFlushInfo(info trace.StallInfo) { p.OnFlush(info.Pipe, info.Stage) }
+
 // OnRetire implements trace.Observer: a retired packet's site link is
 // dropped, bounding the link table by the pipeline depth.
 func (p *Profiler) OnRetire(pipe, stage int, packet uint64, entries int) {
@@ -318,12 +339,12 @@ func (p *Profiler) writeReport(w io.Writer, limit int) error {
 	}
 	for _, s := range sites {
 		cum += s.Cycles()
-		fmt.Fprintf(ew, "%8d %5.1f%% %5.1f%% %8d %8d %7d %6d %6d  %s\n",
+		fmt.Fprintf(ew, "%8d %5.1f%% %5.1f%% %8d %8d %7d %6d %6d  %s%s\n",
 			s.Cycles(),
 			100*float64(s.Cycles())/float64(total),
 			100*float64(cum)/float64(total),
 			s.IssueCycles, s.PenaltyCycles, s.Dispatches,
-			s.StallEvents, s.FlushEvents, s.Label())
+			s.StallEvents, s.FlushEvents, s.Label(), causeSuffix(s))
 	}
 	if p.idleCycles > 0 {
 		fmt.Fprintf(ew, "%8d %5.1f%%                                            <idle>\n",
@@ -359,6 +380,23 @@ func (p *Profiler) WriteFolded(w io.Writer) error {
 		fmt.Fprintf(ew, "%s;<idle> %d\n", root, p.idleCycles)
 	}
 	return ew.err
+}
+
+// causeSuffix renders a site's stall-cause split, e.g. " [data:12 control:3]".
+func causeSuffix(s *Site) string {
+	if len(s.StallCauses) == 0 {
+		return ""
+	}
+	causes := make([]string, 0, len(s.StallCauses))
+	for c := range s.StallCauses {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	parts := make([]string, 0, len(causes))
+	for _, c := range causes {
+		parts = append(parts, fmt.Sprintf("%s:%d", c, s.StallCauses[c]))
+	}
+	return " [" + strings.Join(parts, " ") + "]"
 }
 
 // foldedFrame strips the two characters folded stacks give structural

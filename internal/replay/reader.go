@@ -23,6 +23,7 @@ type CkptRef struct {
 // (a recording cut off by a crash) parse successfully with Truncated set
 // and everything before the cut available.
 type Recording struct {
+	Version   uint64 // wire version the recording was written with
 	ModelName string
 	Source    string // embedded LISA model source
 	Mode      sim.Mode
@@ -62,13 +63,15 @@ func Parse(data []byte) (*Recording, error) {
 		return nil, fmt.Errorf("not a .lrec recording (bad magic)")
 	}
 	d := &dec{b: data, off: len(lrecMagic)}
-	if v := d.u(); v != wireVersion {
+	v := d.u()
+	if v < minWireVersion || v > wireVersion {
 		if d.err != nil {
 			return nil, fmt.Errorf("truncated header")
 		}
-		return nil, fmt.Errorf("unsupported .lrec version %d (want %d)", v, wireVersion)
+		return nil, fmt.Errorf("unsupported .lrec version %d (want %d..%d)", v, minWireVersion, wireVersion)
 	}
 	rec := &Recording{
+		Version:   v,
 		ModelName: d.str(),
 		Source:    d.str(),
 		Mode:      sim.Mode(d.byte()),
@@ -318,16 +321,20 @@ func (c *Cursor) Next() (Record, error) {
 		ev.Kind = trace.KindBehavior
 		ev.Name = c.opName(d)
 		ev.Value = d.u()
-	case recStall:
+	case recStall, recFlush:
 		rc.IsEvent = true
 		ev.Kind = trace.KindStall
+		if kind == recFlush {
+			ev.Kind = trace.KindFlush
+		}
 		ev.Pipe = int32(d.u())
 		ev.Stage = int32(d.i())
-	case recFlush:
-		rc.IsEvent = true
-		ev.Kind = trace.KindFlush
-		ev.Pipe = int32(d.u())
-		ev.Stage = int32(d.i())
+		if c.rec.Version >= 2 {
+			ev.Cause = trace.Cause(d.byte())
+			ev.Name = c.opName(d)
+			ev.Res = c.resName(d)
+			ev.Aux = d.u()
+		}
 	case recShift:
 		rc.IsEvent = true
 		ev.Kind = trace.KindShift

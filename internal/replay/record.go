@@ -454,32 +454,45 @@ func (r *Recorder) OnBehavior(op string, statements uint64) {
 	r.events++
 }
 
-// OnStall implements trace.Observer.
+// OnStall implements trace.Observer (legacy uncaused form).
 func (r *Recorder) OnStall(pipe, stage int) {
-	if r.tail != nil {
-		r.tail.OnStall(pipe, stage)
-	}
-	if r.suppress {
-		return
-	}
-	r.begin(recStall)
-	r.e.u(uint64(pipe))
-	r.e.i(int64(stage))
-	r.flushRecord()
-	r.events++
+	r.OnStallInfo(trace.StallInfo{Pipe: pipe, Stage: stage})
 }
 
-// OnFlush implements trace.Observer.
+// OnFlush implements trace.Observer (legacy uncaused form).
 func (r *Recorder) OnFlush(pipe, stage int) {
+	r.OnFlushInfo(trace.StallInfo{Pipe: pipe, Stage: stage})
+}
+
+// OnStallInfo implements trace.HazardObserver: the full attribution goes
+// into the record so a replayed run explains its hazards identically.
+func (r *Recorder) OnStallInfo(info trace.StallInfo) {
+	r.hazard(recStall, info)
+}
+
+// OnFlushInfo implements trace.HazardObserver.
+func (r *Recorder) OnFlushInfo(info trace.StallInfo) {
+	r.hazard(recFlush, info)
+}
+
+func (r *Recorder) hazard(kind byte, info trace.StallInfo) {
 	if r.tail != nil {
-		r.tail.OnFlush(pipe, stage)
+		if kind == recStall {
+			trace.EmitStall(r.tail, info)
+		} else {
+			trace.EmitFlush(r.tail, info)
+		}
 	}
 	if r.suppress {
 		return
 	}
-	r.begin(recFlush)
-	r.e.u(uint64(pipe))
-	r.e.i(int64(stage))
+	r.begin(kind)
+	r.e.u(uint64(info.Pipe))
+	r.e.i(int64(info.Stage))
+	r.e.byte(byte(info.Cause))
+	r.opRef(info.SourceOp)
+	r.resRef(info.Resource)
+	r.e.u(info.Packet)
 	r.flushRecord()
 	r.events++
 }

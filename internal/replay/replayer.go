@@ -21,7 +21,8 @@ type Replayer struct {
 	Rec *Recording
 	Sim *sim.Simulator
 
-	v *verifier
+	v     *verifier
+	extra trace.Observer
 }
 
 // NewReplayer builds a simulator from the recording's embedded model and
@@ -100,8 +101,28 @@ func (r *Replayer) seek(ref CkptRef) error {
 		events, hashes = r.v.events, r.v.hashes
 	}
 	r.v = &verifier{r: r, cur: cur, events: events, hashes: hashes}
-	r.Sim.SetObserver(r.v)
+	if r.extra != nil {
+		r.Sim.SetObserver(trace.Fanout(r.v, r.extra))
+	} else {
+		r.Sim.SetObserver(r.v)
+	}
 	return nil
+}
+
+// SetExtra attaches an additional observer that sees every event of the
+// re-executed simulation alongside the verifier — e.g. an analyze.Analyzer
+// attributing hazards from a recording. The observer's OnAttach fires on
+// every seek (each Goto/Verify restart replays from a checkpoint), so it
+// must reset its state there. Call before Goto/Verify.
+func (r *Replayer) SetExtra(o trace.Observer) {
+	r.extra = o
+	if r.v != nil {
+		if o != nil {
+			r.Sim.SetObserver(trace.Fanout(r.v, o))
+		} else {
+			r.Sim.SetObserver(r.v)
+		}
+	}
 }
 
 // stepOnce re-executes one control step under verification.
@@ -268,6 +289,8 @@ func normEvent(e trace.Event) trace.Event {
 	switch e.Kind {
 	case trace.KindExec, trace.KindRetire:
 		e.Aux = 0 // packet ids: process-global counter
+	case trace.KindStall, trace.KindFlush:
+		e.Aux = 0 // ditto: the packet carrying the requester
 	case trace.KindDecode:
 		e.Flag = false // cache-hit flag: cold cache after restore
 	}
@@ -369,14 +392,44 @@ func (v *verifier) OnBehavior(op string, statements uint64) {
 	v.expect(trace.Event{Kind: trace.KindBehavior, Pipe: -1, Name: op, Value: statements})
 }
 
-// OnStall implements trace.Observer.
+// OnStall implements trace.Observer (legacy uncaused form).
 func (v *verifier) OnStall(pipe, stage int) {
-	v.expect(trace.Event{Kind: trace.KindStall, Pipe: int32(pipe), Stage: int32(stage)})
+	v.OnStallInfo(trace.StallInfo{Pipe: pipe, Stage: stage})
 }
 
-// OnFlush implements trace.Observer.
+// OnFlush implements trace.Observer (legacy uncaused form).
 func (v *verifier) OnFlush(pipe, stage int) {
-	v.expect(trace.Event{Kind: trace.KindFlush, Pipe: int32(pipe), Stage: int32(stage)})
+	v.OnFlushInfo(trace.StallInfo{Pipe: pipe, Stage: stage})
+}
+
+// OnStallInfo implements trace.HazardObserver: the replayed attribution
+// (cause, source op, gating resource) must match the recorded one exactly
+// — classification reads only committed simulator state, so a divergence
+// here is a real determinism bug. Version-1 recordings carry no
+// attribution; the live one is masked so they still verify.
+func (v *verifier) OnStallInfo(info trace.StallInfo) {
+	v.expect(v.hazardEvent(trace.KindStall, info))
+}
+
+// OnFlushInfo implements trace.HazardObserver.
+func (v *verifier) OnFlushInfo(info trace.StallInfo) {
+	v.expect(v.hazardEvent(trace.KindFlush, info))
+}
+
+func (v *verifier) hazardEvent(kind trace.Kind, info trace.StallInfo) trace.Event {
+	ev := trace.Event{
+		Kind:  kind,
+		Pipe:  int32(info.Pipe),
+		Stage: int32(info.Stage),
+		Name:  info.SourceOp,
+		Aux:   info.Packet,
+		Cause: info.Cause,
+		Res:   info.Resource,
+	}
+	if v.r.Rec.Version < 2 {
+		ev.Name, ev.Aux, ev.Cause, ev.Res = "", 0, trace.CauseNone, ""
+	}
+	return ev
 }
 
 // OnShift implements trace.Observer.

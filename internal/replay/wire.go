@@ -19,8 +19,13 @@ import (
 	"io"
 )
 
-// wire format version; bump on incompatible changes.
-const wireVersion = 1
+// wire format version; bump on incompatible changes. Version 2 extended
+// the stall/flush records with hazard attribution (cause, source op,
+// gating resource, packet id); version-1 recordings are still readable.
+const (
+	wireVersion    = 2
+	minWireVersion = 1
+)
 
 // lrecMagic starts every recording.
 var lrecMagic = []byte("LREC1")

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"golisa/internal/ast"
+	"golisa/internal/behavior"
+	"golisa/internal/trace"
+)
+
+// Hazard-cause classification. LISA has no hardware hazard detection: the
+// model itself requests every stall and flush (paper §3.2.4), so a cause
+// can only be derived from the request's context. The simulator keeps a
+// stack of the conditions guarding the statement being executed — the
+// ACTIVATION if/switch conditions (sim.go) and the BEHAVIOR if/switch
+// conditions (internal/behavior) — and classifies each stall/flush request
+// the moment it is made:
+//
+//   - flush → control (redirections discard wrong-path work); a gating
+//     resource is still reported when a guard names one;
+//   - stall guarded by a condition reading a machine resource → data
+//     hazard on that resource (the resource that is currently nonzero is
+//     preferred over the first one mentioned, so compound guards like
+//     `mem_wait > 0 || prog_wait > 0` attribute to the interlock that
+//     actually fired);
+//   - stall guarded by a resource-free condition → control;
+//   - unguarded stall from an ACTIVATION section → structural (the model
+//     holds the stage on every execution);
+//   - unguarded stall from BEHAVIOR code → explicit.
+//
+// The guard stacks are maintained only while an observer is attached, so
+// an uninstrumented simulation pays one nil check per branch.
+
+// pipeOpInfo builds the hazard attribution of a stall/flush request made
+// right now: the requesting operation, its packet, and the cause derived
+// from the live guard stacks. fromBehavior tells whether the request came
+// from BEHAVIOR code (via behavior.Context.PipeOp) or from an ACTIVATION
+// section. Only called with an observer attached.
+func (s *Simulator) pipeOpInfo(op string, fromBehavior bool) trace.StallInfo {
+	info := trace.StallInfo{}
+	if s.cur.inst != nil {
+		info.SourceOp = s.cur.inst.Op.Name
+	}
+	if s.cur.packet != nil {
+		info.Packet = s.cur.packet.ID
+	}
+	if op == "shift" {
+		return info
+	}
+	info.Cause, info.Resource = s.classifyPipeOp(op, fromBehavior)
+	return info
+}
+
+// classifyPipeOp derives (cause, gating resource) from the guard stacks.
+// Guards are scanned innermost-first; within one guard the first resource
+// whose current value is nonzero wins (it is the interlock that made the
+// condition true), falling back to the first resource mentioned.
+func (s *Simulator) classifyPipeOp(op string, fromBehavior bool) (trace.Cause, string) {
+	behaviorGuards := s.x.Guards()
+	guarded := len(behaviorGuards) > 0 || len(s.actGuards) > 0
+	res := s.scanGuards(behaviorGuards)
+	if res == "" {
+		res = s.scanGuards(s.actGuards)
+	}
+	if op == "flush" {
+		return trace.CauseControl, res
+	}
+	switch {
+	case res != "":
+		return trace.CauseData, res
+	case guarded:
+		return trace.CauseControl, ""
+	case fromBehavior:
+		return trace.CauseExplicit, ""
+	default:
+		return trace.CauseStructural, ""
+	}
+}
+
+// scanGuards walks a guard stack innermost-first and returns the gating
+// resource of the first guard that reads any resource: the first one whose
+// current (scalar) value is nonzero, else the first one mentioned.
+func (s *Simulator) scanGuards(guards []ast.Expr) string {
+	for i := len(guards) - 1; i >= 0; i-- {
+		names := s.guardResources(guards[i])
+		if len(names) == 0 {
+			continue
+		}
+		for _, name := range names {
+			r := s.M.Resource(name)
+			if r != nil && !r.IsMemory() && s.S.Read(r).Bool() {
+				return name
+			}
+		}
+		return names[0]
+	}
+	return ""
+}
+
+// guardResources returns the resources a guard expression reads, caching
+// the static scan per AST node (guards are immutable after parse).
+func (s *Simulator) guardResources(e ast.Expr) []string {
+	if names, ok := s.guardRes[e]; ok {
+		return names
+	}
+	if s.guardRes == nil {
+		s.guardRes = map[ast.Expr][]string{}
+	}
+	names := behavior.GuardResources(s.M, e)
+	s.guardRes[e] = names
+	return names
+}

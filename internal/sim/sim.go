@@ -78,6 +78,11 @@ type pipeOpSpec struct {
 	pipe  *pipeline.Pipe
 	stage int
 	op    string
+
+	// info is the hazard attribution captured at request time (the
+	// requesting operation's guards and packet are gone by the time a
+	// delayed pipe op fires from the time wheel).
+	info trace.StallInfo
 }
 
 // Simulator executes a LISA model cycle by cycle.
@@ -121,6 +126,13 @@ type Simulator struct {
 	execs    map[*model.Operation]uint64
 	obs      trace.Observer // nil = uninstrumented fast path
 	occBuf   []bool         // reused occupancy sample buffer
+
+	// Hazard-attribution context, maintained only while an observer is
+	// attached: the stack of ACTIVATION conditions enclosing the item
+	// currently processed, and a per-expression cache of the resources a
+	// guard reads (guard ASTs are immutable, so the scan runs once).
+	actGuards []ast.Expr
+	guardRes  map[ast.Expr][]string
 
 	decodeCache map[decodeKey]*model.Instance
 	staticInst  map[*model.Operation]*model.Instance
@@ -238,6 +250,7 @@ func (s *Simulator) Reset() error {
 	s.wheel = map[uint64][]runItem{}
 	s.runQ = nil
 	s.runHead = 0
+	s.actGuards = s.actGuards[:0]
 	s.step = 0
 	s.prof = Profile{}
 	s.execs = map[*model.Operation]uint64{}
@@ -503,6 +516,9 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 				stage = pd.StageIndex(it.Stage)
 			}
 			spec := pipeOpSpec{pipe: p, stage: stage, op: it.Op}
+			if s.obs != nil {
+				spec.info = s.pipeOpInfo(it.Op, false)
+			}
 			if it.Delay > 0 {
 				s.schedule(s.step+uint64(it.Delay), runItem{pipeOp: &spec})
 			} else {
@@ -517,7 +533,18 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 			if !cond {
 				branch = it.Else
 			}
-			if err := s.processActivation(in, branch, ctx); err != nil {
+			// The branch runs with its condition on the guard stack so
+			// stall/flush requests inside attribute to the condition's
+			// resources (popped on every exit path).
+			track := s.obs != nil
+			if track {
+				s.actGuards = append(s.actGuards, it.Cond)
+			}
+			err = s.processActivation(in, branch, ctx)
+			if track {
+				s.actGuards = s.actGuards[:len(s.actGuards)-1]
+			}
+			if err != nil {
 				return err
 			}
 		case *ast.ActSwitch:
@@ -526,6 +553,7 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 				return err
 			}
 			var deflt *ast.ActCase
+			var chosen []ast.ActItem
 			matched := false
 			for i := range it.Cases {
 				c := &it.Cases[i]
@@ -540,9 +568,7 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 					}
 					if cv.Uint() == tag.Uint() {
 						matched = true
-						if err := s.processActivation(in, c.Items, ctx); err != nil {
-							return err
-						}
+						chosen = c.Items
 						break
 					}
 				}
@@ -551,7 +577,18 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 				}
 			}
 			if !matched && deflt != nil {
-				if err := s.processActivation(in, deflt.Items, ctx); err != nil {
+				chosen = deflt.Items
+			}
+			if chosen != nil {
+				track := s.obs != nil
+				if track {
+					s.actGuards = append(s.actGuards, it.Tag)
+				}
+				err := s.processActivation(in, chosen, ctx)
+				if track {
+					s.actGuards = s.actGuards[:len(s.actGuards)-1]
+				}
+				if err != nil {
 					return err
 				}
 			}
@@ -657,9 +694,9 @@ func (s *Simulator) applyPipeOp(spec pipeOpSpec) {
 	case "shift":
 		spec.pipe.RequestShift()
 	case "stall":
-		spec.pipe.Stall(spec.stage)
+		spec.pipe.StallCause(spec.stage, spec.info)
 	case "flush":
-		spec.pipe.Flush(spec.stage)
+		spec.pipe.FlushCause(spec.stage, spec.info)
 	}
 }
 
@@ -678,7 +715,11 @@ func (c *simCtx) PipeOp(pd *model.Pipeline, stage int, op string) error {
 	if p == nil {
 		return fmt.Errorf("pipeline %s not instantiated", pd.Name)
 	}
-	s.applyPipeOp(pipeOpSpec{pipe: p, stage: stage, op: op})
+	spec := pipeOpSpec{pipe: p, stage: stage, op: op}
+	if s.obs != nil {
+		spec.info = s.pipeOpInfo(op, true)
+	}
+	s.applyPipeOp(spec)
 	return nil
 }
 

@@ -160,20 +160,48 @@ func (c *ChromeTracer) OnBehavior(string, uint64) {}
 
 // OnStall implements Observer.
 func (c *ChromeTracer) OnStall(pipe, stage int) {
-	for _, tid := range c.stageTids(pipe, stage) {
-		c.events = append(c.events, chromeEvent{
-			Name: "stall", Cat: "hazard", Ph: "i", Ts: c.ts(),
-			Pid: chromePid, Tid: tid, Scope: "t",
-		})
-	}
+	c.hazard("stall", StallInfo{Pipe: pipe, Stage: stage})
 }
 
 // OnFlush implements Observer.
 func (c *ChromeTracer) OnFlush(pipe, stage int) {
-	for _, tid := range c.stageTids(pipe, stage) {
+	c.hazard("flush", StallInfo{Pipe: pipe, Stage: stage})
+}
+
+// OnStallInfo implements HazardObserver: the instant carries the hazard
+// attribution as args so it is inspectable in the trace viewer.
+func (c *ChromeTracer) OnStallInfo(info StallInfo) { c.hazard("stall", info) }
+
+// OnFlushInfo implements HazardObserver.
+func (c *ChromeTracer) OnFlushInfo(info StallInfo) { c.hazard("flush", info) }
+
+// hazard emits one instant per affected stage track. Whole-pipe events
+// (stage -1) land on every stage track, labeled as whole-pipe.
+func (c *ChromeTracer) hazard(kind string, info StallInfo) {
+	name := kind
+	if info.Stage < 0 {
+		name = kind + " (whole pipe)"
+	}
+	var args map[string]any
+	if info.Cause != CauseNone || info.SourceOp != "" {
+		args = map[string]any{"cause": info.Cause.String()}
+		if info.Resource != "" {
+			args["resource"] = info.Resource
+		}
+		if info.SourceOp != "" {
+			args["op"] = info.SourceOp
+		}
+		if info.Packet != 0 {
+			args["packet"] = fmt.Sprintf("%#x", info.Packet)
+		}
+		if info.Stage < 0 {
+			args["whole_pipe"] = true
+		}
+	}
+	for _, tid := range c.stageTids(info.Pipe, info.Stage) {
 		c.events = append(c.events, chromeEvent{
-			Name: "flush", Cat: "hazard", Ph: "i", Ts: c.ts(),
-			Pid: chromePid, Tid: tid, Scope: "t",
+			Name: name, Cat: "hazard", Ph: "i", Ts: c.ts(),
+			Pid: chromePid, Tid: tid, Scope: "t", Args: args,
 		})
 	}
 }

@@ -63,7 +63,9 @@ func (k Kind) String() string {
 // Event is one recorded simulation event in compact form. Field meaning
 // depends on Kind: Name is the operation/resource/root name, Value the
 // instruction word, written value, delay or entry count, Aux the memory
-// address or packet id.
+// address or packet id. Stall and flush events additionally carry their
+// hazard attribution: Cause, the gating Resource for data hazards (Res),
+// the requesting operation (Name) and its packet (Aux).
 type Event struct {
 	Step  uint64
 	Kind  Kind
@@ -73,6 +75,8 @@ type Event struct {
 	Value uint64
 	Aux   uint64
 	Flag  bool
+	Cause Cause
+	Res   string
 }
 
 // String renders the event for post-mortem dumps.
@@ -98,6 +102,21 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d write %s = %#x", e.Step, e.Name, e.Value)
 	case KindMemWrite:
 		return fmt.Sprintf("#%d write %s[%#x] = %#x", e.Step, e.Name, e.Aux, e.Value)
+	case KindStall, KindFlush:
+		s := fmt.Sprintf("#%d %s%s", e.Step, e.Kind, loc)
+		if e.Cause != CauseNone {
+			s += " cause=" + e.Cause.String()
+			if e.Res != "" {
+				s += "(" + e.Res + ")"
+			}
+		}
+		if e.Name != "" {
+			s += " by=" + e.Name
+		}
+		if e.Aux != 0 {
+			s += fmt.Sprintf(" packet=%#x", e.Aux)
+		}
+		return s
 	case KindDiverge:
 		return fmt.Sprintf("#%d DIVERGE %s value=%#x", e.Step, e.Name, e.Value)
 	default:
@@ -206,6 +225,19 @@ func (f *Flight) OnStall(pipe, stage int) {
 // OnFlush implements Observer.
 func (f *Flight) OnFlush(pipe, stage int) {
 	f.record(Event{Kind: KindFlush, Pipe: int32(pipe), Stage: int32(stage)})
+}
+
+// OnStallInfo implements HazardObserver: the ring keeps the full hazard
+// attribution so post-mortem dumps show why each stall was requested.
+func (f *Flight) OnStallInfo(info StallInfo) {
+	f.record(Event{Kind: KindStall, Pipe: int32(info.Pipe), Stage: int32(info.Stage),
+		Name: info.SourceOp, Aux: info.Packet, Cause: info.Cause, Res: info.Resource})
+}
+
+// OnFlushInfo implements HazardObserver.
+func (f *Flight) OnFlushInfo(info StallInfo) {
+	f.record(Event{Kind: KindFlush, Pipe: int32(info.Pipe), Stage: int32(info.Stage),
+		Name: info.SourceOp, Aux: info.Packet, Cause: info.Cause, Res: info.Resource})
 }
 
 // OnShift implements Observer.

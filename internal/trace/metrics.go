@@ -18,6 +18,21 @@ type StageMetrics struct {
 	Execs          uint64 `json:"execs"`
 	RetiredPackets uint64 `json:"retired_packets"`
 	RetiredEntries uint64 `json:"retired_entries"`
+
+	// StallCauseCycles splits StallCycles by hazard cause
+	// ("data"/"control"/"structural"/"explicit") when the emitter provides
+	// attribution; unattributed stalls appear only in StallCycles.
+	StallCauseCycles map[string]uint64 `json:"stall_cause_cycles,omitempty"`
+}
+
+func (s *StageMetrics) stallCause(c Cause) {
+	if c == CauseNone {
+		return
+	}
+	if s.StallCauseCycles == nil {
+		s.StallCauseCycles = map[string]uint64{}
+	}
+	s.StallCauseCycles[c.String()]++
 }
 
 // PipeMetrics accumulates counters for one pipeline.
@@ -193,6 +208,29 @@ func (m *Metrics) OnFlush(pipe, stage int) {
 	}
 }
 
+// OnStallInfo implements HazardObserver: the plain per-stage counters are
+// kept identical to the uncaused path, with the stall cycles additionally
+// split by cause.
+func (m *Metrics) OnStallInfo(info StallInfo) {
+	m.OnStall(info.Pipe, info.Stage)
+	if info.Pipe < 0 || info.Pipe >= len(m.Pipes) {
+		return
+	}
+	if info.Stage < 0 {
+		for _, s := range m.Pipes[info.Pipe].Stages {
+			s.stallCause(info.Cause)
+		}
+		return
+	}
+	if s := m.stage(info.Pipe, info.Stage); s != nil {
+		s.stallCause(info.Cause)
+	}
+}
+
+// OnFlushInfo implements HazardObserver; flushes keep their single
+// per-stage counter (their cause is control by definition).
+func (m *Metrics) OnFlushInfo(info StallInfo) { m.OnFlush(info.Pipe, info.Stage) }
+
 // OnShift implements Observer.
 func (m *Metrics) OnShift(pipe int) {
 	if pipe >= 0 && pipe < len(m.Pipes) {
@@ -277,7 +315,7 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		get        func(*StageMetrics) uint64
 	}{
 		{"lisa_stage_occupied_cycles_total", "Control steps the stage held a packet.", func(s *StageMetrics) uint64 { return s.OccupiedCycles }},
-		{"lisa_stage_stall_cycles_total", "Control steps the stage was stalled.", func(s *StageMetrics) uint64 { return s.StallCycles }},
+		{"lisa_stage_stall_cycles_total", "Control steps the stage was stalled, split by hazard cause when attributed; the series without a cause label is the total.", func(s *StageMetrics) uint64 { return s.StallCycles }},
 		{"lisa_stage_flushes_total", "Packets flushed from the stage.", func(s *StageMetrics) uint64 { return s.Flushes }},
 		{"lisa_stage_execs_total", "Operation executions in the stage.", func(s *StageMetrics) uint64 { return s.Execs }},
 		{"lisa_stage_retired_packets_total", "Packets retired from the stage.", func(s *StageMetrics) uint64 { return s.RetiredPackets }},
@@ -287,6 +325,20 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		for _, pm := range m.Pipes {
 			for _, s := range pm.Stages {
 				p("%s{pipe=\"%s\",stage=\"%s\"} %d\n", counter.name, promEscape(s.Pipe), promEscape(s.Stage), counter.get(s))
+				if counter.name != "lisa_stage_stall_cycles_total" || len(s.StallCauseCycles) == 0 {
+					continue
+				}
+				// Cause-labeled variants under the same metric header; the
+				// uncaused series above stays the backward-compatible total.
+				causes := make([]string, 0, len(s.StallCauseCycles))
+				for c := range s.StallCauseCycles {
+					causes = append(causes, c)
+				}
+				sort.Strings(causes)
+				for _, c := range causes {
+					p("%s{pipe=\"%s\",stage=\"%s\",cause=\"%s\"} %d\n",
+						counter.name, promEscape(s.Pipe), promEscape(s.Stage), promEscape(c), s.StallCauseCycles[c])
+				}
 			}
 		}
 	}

@@ -226,6 +226,42 @@ loop:   SUB A1, A1, A2
 	}
 }
 
+// TestPromCauseLabels checks the cause-split stall exposition: attributed
+// stalls add cause-labeled samples under the stall metric while the
+// uncaused per-stage total remains, and the whole payload still passes the
+// strict format parser.
+func TestPromCauseLabels(t *testing.T) {
+	metrics := trace.NewMetrics()
+	metrics.OnAttach("m", []trace.PipeInfo{{Name: "p", Stages: []string{"FE", "EX"}}})
+	metrics.OnStepBegin(0)
+	metrics.OnStallInfo(trace.StallInfo{Pipe: 0, Stage: 1, Cause: trace.CauseData, Resource: "mem_wait"})
+	metrics.OnStallInfo(trace.StallInfo{Pipe: 0, Stage: 1, Cause: trace.CauseControl})
+	metrics.OnStallInfo(trace.StallInfo{Pipe: 0, Stage: 0}) // unattributed
+	metrics.OnFlushInfo(trace.StallInfo{Pipe: 0, Stage: -1, Cause: trace.CauseControl})
+	metrics.OnStepEnd(0)
+
+	var buf bytes.Buffer
+	if err := metrics.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	parseExposition(t, out)
+	for _, want := range []string{
+		`lisa_stage_stall_cycles_total{pipe="p",stage="EX"} 2`,
+		`lisa_stage_stall_cycles_total{pipe="p",stage="EX",cause="data"} 1`,
+		`lisa_stage_stall_cycles_total{pipe="p",stage="EX",cause="control"} 1`,
+		`lisa_stage_stall_cycles_total{pipe="p",stage="FE"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The unattributed FE stall must NOT grow a cause label.
+	if strings.Contains(out, `stage="FE",cause`) {
+		t.Errorf("unattributed stall gained a cause label:\n%s", out)
+	}
+}
+
 // TestPromEscaping checks that hostile model/label names are escaped per
 // the exposition format and survive the strict parser.
 func TestPromEscaping(t *testing.T) {

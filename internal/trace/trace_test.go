@@ -236,6 +236,72 @@ func TestChromeTracer(t *testing.T) {
 	}
 }
 
+// TestChromeHazardArgs checks that attributed stalls and flushes carry
+// their cause, resource, op and packet as instant args, whole-pipe events
+// are labeled and fan out to every stage track, and plain (unattributed)
+// OnStall instants stay args-free.
+func TestChromeHazardArgs(t *testing.T) {
+	c := NewChromeTracer()
+	c.OnAttach("m", testPipes)
+	c.OnStepBegin(0)
+	c.OnStallInfo(StallInfo{
+		Pipe: 0, Stage: 2, Cause: CauseData,
+		Resource: "mem_wait", SourceOp: "ld", Packet: 7,
+	})
+	c.OnFlushInfo(StallInfo{Pipe: 0, Stage: -1, Cause: CauseControl, SourceOp: "br"})
+	c.OnStall(0, 1) // legacy path: no attribution
+	c.OnStepEnd(0)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var stalls, flushes, bareStalls int
+	for _, e := range doc.TraceEvents {
+		if cat, _ := e["cat"].(string); cat != "hazard" {
+			continue
+		}
+		args, _ := e["args"].(map[string]any)
+		switch e["name"] {
+		case "stall":
+			if args == nil {
+				bareStalls++
+				continue
+			}
+			stalls++
+			for k, want := range map[string]any{
+				"cause": "data", "resource": "mem_wait", "op": "ld", "packet": "0x7",
+			} {
+				if args[k] != want {
+					t.Errorf("stall args[%q] = %v, want %v", k, args[k], want)
+				}
+			}
+		case "flush (whole pipe)":
+			flushes++
+			if args["cause"] != "control" || args["op"] != "br" || args["whole_pipe"] != true {
+				t.Errorf("whole-pipe flush args = %v", args)
+			}
+		}
+	}
+	if stalls != 1 {
+		t.Errorf("attributed stall instants = %d, want 1", stalls)
+	}
+	if bareStalls != 1 {
+		t.Errorf("unattributed stall instants = %d, want 1 (legacy OnStall must stay args-free)", bareStalls)
+	}
+	// A whole-pipe flush lands on every stage track of the 4-stage pipe.
+	if flushes != len(testPipes[0].Stages) {
+		t.Errorf("whole-pipe flush instants = %d, want %d", flushes, len(testPipes[0].Stages))
+	}
+}
+
 func TestChromeTracerEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := NewChromeTracer().WriteJSON(&buf); err != nil {
