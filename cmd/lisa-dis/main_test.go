@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+)
+
+// Re-exec pattern: with LISA_DIS_TOOL=1 the test binary runs main() on the
+// real command line (the tool exits through cli.Fail).
+func TestMain(m *testing.M) {
+	if os.Getenv("LISA_DIS_TOOL") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runTool(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LISA_DIS_TOOL=1")
+	cmd.Stdin = strings.NewReader(stdin)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running tool: %v", err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+const countdown = `
+        LDI B1, 1
+        LDI A1, 3
+        SUB A1, A1, B1
+        BNZ A1, 2
+        NOP
+        HALT
+`
+
+// assemble builds the reference words the CLI output must roundtrip to.
+func assemble(t *testing.T, src string) []uint64 {
+	t.Helper()
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.NewAssembler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Words
+}
+
+// TestDisassembleArgsRoundtrip feeds assembled words as hex arguments and
+// checks the printed assembly reassembles to the same words.
+func TestDisassembleArgsRoundtrip(t *testing.T) {
+	words := assemble(t, countdown)
+	args := []string{"-model", "simple16"}
+	for _, w := range words {
+		args = append(args, fmt.Sprintf("0x%04x", w))
+	}
+	out, stderr, code := runTool(t, "", args...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(words) {
+		t.Fatalf("got %d lines for %d words:\n%s", len(lines), len(words), out)
+	}
+	back := assemble(t, out)
+	for i, w := range back {
+		if w != words[i] {
+			t.Errorf("word %d: roundtrip %#x != original %#x (line %q)", i, w, words[i], lines[i])
+		}
+	}
+}
+
+// TestDisassembleStdin pipes lisa-as-style output (hex words under a
+// comment header) into the tool.
+func TestDisassembleStdin(t *testing.T) {
+	words := assemble(t, countdown)
+	var sb strings.Builder
+	sb.WriteString("; origin 0x0, produced by lisa-as\n\n")
+	for _, w := range words {
+		fmt.Fprintf(&sb, "%04x\n", w)
+	}
+	out, stderr, code := runTool(t, sb.String(), "-model", "simple16")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != len(words) {
+		t.Fatalf("got %d lines for %d words:\n%s", len(lines), len(words), out)
+	}
+	if !strings.Contains(out, "HALT") {
+		t.Errorf("no HALT in output:\n%s", out)
+	}
+}
+
+func TestErrorExits(t *testing.T) {
+	// Unparseable hex: exit 1 with a diagnostic.
+	if _, stderr, code := runTool(t, "", "-model", "simple16", "zznothex"); code != 1 || stderr == "" {
+		t.Errorf("bad hex: exit %d stderr %q, want error exit 1", code, stderr)
+	}
+	// Unknown model: exit 1.
+	if _, _, code := runTool(t, "", "-model", "nosuch", "0x0000"); code != 1 {
+		t.Errorf("bad model: exit %d, want 1", code)
+	}
+	// A word with an unassigned opcode is not fatal: it prints a .word
+	// escape instead.
+	out, stderr, code := runTool(t, "", "-model", "simple16", "0x80000000")
+	if code != 0 {
+		t.Fatalf("undecodable word: exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, ".word 0x80000000") {
+		t.Errorf("no .word escape for undecodable word: %q", out)
+	}
+}

@@ -10,6 +10,8 @@
 //	lisa-sim -model simple16 -http :6060 -http-paused prog.s
 //	lisa-sim -model simple16 -record run.lrec prog.s
 //	lisa-sim -model simple16 -analyze prog.s
+//	lisa-sim -model simple16 -jobs progs/ -workers 8
+//	lisa-sim -jobs batch.json -batch-json results.json
 //
 // -trace writes a Chrome trace-event JSON (load in chrome://tracing or
 // https://ui.perfetto.dev) with one track per pipeline stage; -metrics
@@ -26,6 +28,11 @@
 // estimates — see lisa-report for the standalone tool). On simulation
 // errors the last -flight events are dumped to stderr and the partial
 // recording is flushed.
+//
+// -jobs switches to batch mode: every .s file in a directory (or the jobs
+// of a JSON manifest) runs on a pool of -workers goroutines sharing one
+// compiled-model artifact, so the model is decoded and compiled once for
+// the whole batch (see docs/fleet.md).
 package main
 
 import (
@@ -43,13 +50,23 @@ import (
 func main() {
 	var common cli.Common
 	var obs cli.Obs
+	var batch cli.Batch
 	common.Register(flag.CommandLine)
 	obs.Register(flag.CommandLine)
+	batch.Register(flag.CommandLine)
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON to this file")
 	metricsOut := flag.String("metrics", "", "write a metrics snapshot to this file (.json for JSON, else Prometheus text)")
 	vcdOut := flag.String("vcd", "", "write a VCD waveform trace to this file")
 	dumpRegs := flag.String("regs", "", "comma-separated register files to dump after the run (e.g. A,B)")
 	flag.Parse()
+	if batch.Jobs != "" {
+		if flag.NArg() != 0 {
+			cli.Usage("[-model m] [-mode m] -jobs <dir|manifest.json> [-workers n] [-batch-json out.json]")
+		}
+		m, mode := common.Load()
+		cli.Fail(batch.Run(m, mode, common.Max))
+		return
+	}
 	if flag.NArg() != 1 {
 		cli.Usage("[-model m] [-mode m] prog.s")
 	}

@@ -469,3 +469,51 @@ func TestProgramLinesTrackSources(t *testing.T) {
 		t.Errorf("line map: %v", prog.Lines)
 	}
 }
+
+func TestNumberOverflowRejected(t *testing.T) {
+	a, _ := newTools(t, tinyASM)
+	// Before the overflow check these scanned as their wrapped values
+	// (2^64+1 as 1, 2^64+2 as 2, ...) and assembled a wrong encoding.
+	cases := []string{
+		"ADDI 1, 18446744073709551617",     // decimal 2^64 + 1
+		"ADDI 1, 0x10000000000000001",      // hex 2^64 + 1
+		"ADDI 18446744073709551616, 1",     // overflow in another operand
+		"ADDI 1, -18446744073709551617",    // signed path
+		"BR 99999999999999999999999999999", // way past 2^64
+	}
+	for _, src := range cases {
+		_, err := a.AssembleStatement(src)
+		if err == nil || !strings.Contains(err.Error(), "overflows 64 bits") {
+			t.Errorf("AssembleStatement(%q) err = %v, want overflow error", src, err)
+		}
+	}
+	// Exactly representable 64-bit values still scan; field range/two's
+	// complement rules then apply (max uint64 is -1, which fits 9 signed
+	// bits).
+	if _, err := a.AssembleStatement("ADDI 1, 18446744073709551615"); err != nil {
+		t.Errorf("max uint64 should still scan: %v", err)
+	}
+	if _, err := a.AssembleStatement("ADDI 1, 0xFFFFFFFFFFFFFFFF"); err != nil {
+		t.Errorf("max uint64 hex should still scan: %v", err)
+	}
+}
+
+func TestDirectiveNumberOverflowRejected(t *testing.T) {
+	a, _ := newTools(t, tinyASM)
+	for _, src := range []string{
+		".word 18446744073709551617",
+		".org 0x10000000000000000",
+	} {
+		if _, err := a.Assemble(src); err == nil || !strings.Contains(err.Error(), "overflows 64 bits") {
+			t.Errorf("Assemble(%q) err = %v, want overflow error", src, err)
+		}
+	}
+}
+
+func TestSymbolOffsetOverflowRejected(t *testing.T) {
+	a, _ := newTools(t, tinyASM)
+	_, err := a.Assemble("x: NOP\nBR x+18446744073709551617")
+	if err == nil || !strings.Contains(err.Error(), "overflows 64 bits") {
+		t.Errorf("symbol offset overflow err = %v, want overflow error", err)
+	}
+}

@@ -328,7 +328,10 @@ func isIdent(s string) bool {
 
 func parseNum(s string) (uint64, error) {
 	st := &matchState{text: s}
-	v, ok := st.number(true)
+	v, ok, err := st.number(true)
+	if err != nil {
+		return 0, err
+	}
 	if !ok || !st.atEnd() {
 		return 0, fmt.Errorf("bad number %q", s)
 	}

@@ -81,7 +81,10 @@ func isLetter(c byte) bool {
 }
 
 // number scans an integer: decimal, hex (0x...), optional leading '-'.
-func (st *matchState) number(signed bool) (uint64, bool) {
+// A constant that does not fit in 64 bits is consumed fully and reported
+// as a range error — silently wrapping would assemble a wrong encoding
+// (e.g. 18446744073709551617 used to scan as 1).
+func (st *matchState) number(signed bool) (uint64, bool, error) {
 	st.skipSpace()
 	start := st.pos
 	neg := false
@@ -89,8 +92,10 @@ func (st *matchState) number(signed bool) (uint64, bool) {
 		neg = true
 		st.pos++
 	}
+	const maxU = ^uint64(0)
 	var v uint64
 	digits := 0
+	overflow := false
 	if st.pos+1 < len(st.text) && st.text[st.pos] == '0' && (st.text[st.pos+1] == 'x' || st.text[st.pos+1] == 'X') {
 		st.pos += 2
 		for st.pos < len(st.text) {
@@ -106,6 +111,9 @@ func (st *matchState) number(signed bool) (uint64, bool) {
 			default:
 				goto doneHex
 			}
+			if v > (maxU-d)/16 {
+				overflow = true
+			}
 			v = v*16 + d
 			digits++
 			st.pos++
@@ -113,19 +121,26 @@ func (st *matchState) number(signed bool) (uint64, bool) {
 	doneHex:
 	} else {
 		for st.pos < len(st.text) && st.text[st.pos] >= '0' && st.text[st.pos] <= '9' {
-			v = v*10 + uint64(st.text[st.pos]-'0')
+			d := uint64(st.text[st.pos] - '0')
+			if v > (maxU-d)/10 {
+				overflow = true
+			}
+			v = v*10 + d
 			digits++
 			st.pos++
 		}
 	}
 	if digits == 0 {
 		st.pos = start
-		return 0, false
+		return 0, false, nil
+	}
+	if overflow {
+		return 0, false, fmt.Errorf("integer constant %q overflows 64 bits", st.text[start:st.pos])
 	}
 	if neg {
 		v = -v
 	}
-	return v, true
+	return v, true, nil
 }
 
 // symbol scans an identifier.
@@ -257,7 +272,11 @@ func (mt *matcher) matchGroup(g *model.Group, st *matchState) (*model.Instance, 
 func (mt *matcher) matchParam(op *model.Operation, in *model.Instance, el *ast.SyntaxRef, st *matchState) (bool, error) {
 	width := labelWidth(op, el.Name)
 	signed := el.Format == "#s"
-	if v, ok := st.number(signed); ok {
+	v, ok, err := st.number(signed)
+	if err != nil {
+		return false, err
+	}
+	if ok {
 		if err := checkRange(op.Name, el.Name, v, width, signed); err != nil {
 			return false, err
 		}
@@ -271,7 +290,10 @@ func (mt *matcher) matchParam(op *model.Operation, in *model.Instance, el *ast.S
 				if st.pos < len(st.text) && (st.text[st.pos] == '+' || st.text[st.pos] == '-') {
 					neg := st.text[st.pos] == '-'
 					st.pos++
-					off, okNum := st.number(false)
+					off, okNum, err := st.number(false)
+					if err != nil {
+						return false, err
+					}
 					if !okNum {
 						return false, fmt.Errorf("malformed offset after symbol %q", sym)
 					}

@@ -91,10 +91,16 @@ func (x *Exec) EvalValueCompiled(in *model.Instance, e ast.Expr) (bitvec.Value, 
 }
 
 func (x *Exec) evalCompiledExpr(in *model.Instance, e ast.Expr) (val, error) {
+	key := condKey{in, e}
+	if x.Shared != nil {
+		if ce, ok := x.Shared.lookupCond(key); ok {
+			st := &cstate{x: x}
+			return ce(st)
+		}
+	}
 	if x.conds == nil {
 		x.conds = map[condKey]cexpr{}
 	}
-	key := condKey{in, e}
 	ce, ok := x.conds[key]
 	if !ok {
 		c := &compiler{x: x, in: in}
@@ -105,14 +111,22 @@ func (x *Exec) evalCompiledExpr(in *model.Instance, e ast.Expr) (val, error) {
 			return val{}, err
 		}
 		x.conds[key] = ce
+		x.Compiles++
 	}
 	st := &cstate{x: x}
 	return ce(st)
 }
 
 // compileCache lives on the Exec; instances are shared across executions in
-// compiled mode, so this is a decode-once/compile-once cache.
+// compiled mode, so this is a decode-once/compile-once cache. When a shared
+// pre-compiled set is attached it is consulted first (and never written),
+// keeping engines that share one artifact race-free.
 func compiledFor(x *Exec, in *model.Instance) (*compiledBehavior, error) {
+	if x.Shared != nil {
+		if cb, ok := x.Shared.lookupBehavior(in); ok {
+			return cb, nil
+		}
+	}
 	if x.compiled == nil {
 		x.compiled = map[*model.Instance]*compiledBehavior{}
 	}
@@ -129,6 +143,7 @@ func compiledFor(x *Exec, in *model.Instance) (*compiledBehavior, error) {
 		cb = &compiledBehavior{body: body, nslots: c.maxSlots}
 	}
 	x.compiled[in] = cb
+	x.Compiles++
 	return cb, nil
 }
 

@@ -60,6 +60,19 @@ type Exec struct {
 	// (OnBehavior) for cycle attribution. Nil costs one comparison per Run.
 	Obs trace.Observer
 
+	// Shared, when non-nil, is a read-only set of behavior closures
+	// pre-compiled at artifact build time (see sim.Artifact). Lookups
+	// consult it before the per-engine lazy caches; the lazy caches only
+	// ever hold entries the shared set lacks, so engines sharing one set
+	// never write to shared memory.
+	Shared *CompiledSet
+
+	// Compiles counts closures compiled by this engine at run time.
+	// Pre-compiled shared closures do not count; a fully pre-warmed
+	// artifact therefore keeps this at zero across a whole run, which the
+	// fleet's zero-recompilation assertion checks.
+	Compiles uint64
+
 	steps    int
 	stmts    uint64 // monotonically increasing statement counter (tracing)
 	compiled map[*model.Instance]*compiledBehavior

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"golisa/internal/core"
+	"golisa/internal/fleet"
+	"golisa/internal/sim"
+)
+
+// Batch is the -jobs/-workers/-batch-json flag group: batch simulation of
+// many programs over one shared compiled-model artifact (internal/fleet).
+type Batch struct {
+	Jobs    string
+	Workers int
+	JSONOut string
+	Analyze bool
+}
+
+// Register defines the batch flags on fs.
+func (b *Batch) Register(fs *flag.FlagSet) {
+	fs.StringVar(&b.Jobs, "jobs", "", "batch mode: run every .s file in a directory, or the jobs of a JSON manifest")
+	fs.IntVar(&b.Workers, "workers", 0, "batch worker goroutines (0 = GOMAXPROCS, overrides the manifest)")
+	fs.StringVar(&b.JSONOut, "batch-json", "", "write the batch summary as JSON to this file")
+	fs.BoolVar(&b.Analyze, "batch-analyze", false, "attach a hazard analyzer to every batch job")
+}
+
+// Run executes the batch named by -jobs. The command line supplies the
+// defaults (model, mode, step cap); a JSON manifest's own model, mode,
+// workers and max fields override them, and -workers in turn overrides the
+// manifest. Per-job failures are reported in the summary and the returned
+// error, not fatally.
+func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
+	man, err := fleet.LoadManifest(b.Jobs)
+	if err != nil {
+		return err
+	}
+	if man.Model != "" && man.Model != mc.Model.Name {
+		mc = LoadModel(man.Model)
+	}
+	if man.Mode != "" {
+		if mode, err = fleet.ParseMode(man.Mode); err != nil {
+			return err
+		}
+	}
+	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze}
+	if b.Workers > 0 {
+		opt.Workers = b.Workers
+	}
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = max
+	}
+
+	sum, err := fleet.Run(mc, mode, man.Jobs, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("; batch %s: %d jobs on %d workers, model %s, %s mode\n",
+		b.Jobs, sum.Jobs, sum.Workers, sum.Model, sum.Mode)
+	fmt.Printf("; artifact: %d prewarm decodes, %d compiles, %d cached words; jobs re-did %d decodes, %d compiles\n",
+		sum.PrewarmDecodes, sum.ArtifactCompiles, sum.CachedWords, sum.JobDecodes, sum.JobCompiles)
+	for _, r := range sum.Results {
+		status := "ok"
+		switch {
+		case r.Err != "":
+			status = "ERROR " + r.Err
+		case !r.Halted:
+			status = "step limit"
+		}
+		fmt.Printf("%-20s %10d steps  %s\n", r.Name, r.Steps, status)
+		for _, msg := range r.Prints {
+			fmt.Printf("  | %s\n", msg)
+		}
+	}
+	for _, cause := range sum.SortedPenaltyCauses() {
+		fmt.Printf("; penalty[%s] = %d cycles\n", cause, sum.Penalty[cause])
+	}
+	fmt.Printf("; %d total steps in %v wall\n", sum.TotalSteps, sum.Elapsed.Round(time.Microsecond))
+
+	if b.JSONOut != "" {
+		f, err := os.Create(b.JSONOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if sum.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", sum.Failed, sum.Jobs)
+	}
+	return nil
+}

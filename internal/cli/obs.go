@@ -11,6 +11,7 @@ import (
 	"golisa/internal/asm"
 	"golisa/internal/core"
 	"golisa/internal/debug"
+	"golisa/internal/fleet"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
 	"golisa/internal/sim"
@@ -116,6 +117,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Profiler:    sess.Profiler,
 			Recorder:    sess.Recorder,
 			Analyzer:    sess.Analyzer,
+			Batch:       &fleet.Service{Machine: mc, Mode: s.Mode()},
 			StartPaused: o.HTTPPaused,
 		})
 		observers = append(observers, sess.Server.Attach())

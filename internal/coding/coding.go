@@ -40,6 +40,13 @@ func (d *Decoder) DecodeRoot(root *model.Operation, word bitvec.Value) (*model.I
 	}
 	in := model.NewInstance(root)
 	w := d.elemsWidth(root, sec.Elems)
+	// Wider codings are rejected at sema time; this guard keeps a
+	// hand-built model from silently truncating words (Resize clamps to
+	// bitvec.MaxWidth) and colliding in word-keyed decode caches.
+	if w > bitvec.MaxWidth {
+		return nil, fmt.Errorf("coding root %s: width %d exceeds the %d-bit instruction word limit",
+			root.Name, w, bitvec.MaxWidth)
+	}
 	bits := word.Resize(w)
 	rest, err := d.matchElems(root, in, sec.Elems, bits, w)
 	if err != nil {
@@ -75,6 +82,10 @@ func (d *Decoder) decodeOp(op *model.Operation, bits bitvec.Value) (*model.Insta
 	sec := codingOf(op)
 	if sec == nil {
 		return nil, fmt.Errorf("operation %s has no coding", op.Name)
+	}
+	if op.CodingWidth > bitvec.MaxWidth {
+		return nil, fmt.Errorf("operation %s: coding width %d exceeds the %d-bit instruction word limit",
+			op.Name, op.CodingWidth, bitvec.MaxWidth)
 	}
 	in := model.NewInstance(op)
 	rest, err := d.matchElems(op, in, sec.Elems, bits, op.CodingWidth)

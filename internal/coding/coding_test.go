@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"golisa/internal/ast"
 	"golisa/internal/bitvec"
 	"golisa/internal/model"
 	"golisa/internal/parser"
@@ -288,5 +289,51 @@ func TestPatternHelpers(t *testing.T) {
 	}
 	if patternCareMask("1x01") != 0b1011 {
 		t.Errorf("careMask: %#b", patternCareMask("1x01"))
+	}
+}
+
+func TestDecodeRejectsOver64BitCoding(t *testing.T) {
+	// Hand-built model: sema rejects >64-bit codings before they reach the
+	// decoder, so this guards against models assembled programmatically.
+	m := model.NewModel("fat")
+	res := &model.Resource{Name: "insn", Width: 64}
+	if err := m.AddResource(res); err != nil {
+		t.Fatal(err)
+	}
+	root := &model.Operation{
+		Name:         "root",
+		IsCodingRoot: true,
+		RootResource: res,
+		Variants: []*model.Variant{{
+			Coding: &ast.CodingSec{
+				CompareTo: "insn",
+				Elems:     []ast.CodingElem{&ast.CodingPattern{Bits: strings.Repeat("x", 80)}},
+			},
+		}},
+	}
+	if err := m.AddOperation(root); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(m)
+	_, err := d.DecodeRoot(root, bitvec.New(0, 64))
+	if err == nil || !strings.Contains(err.Error(), "exceeds the 64-bit instruction word limit") {
+		t.Fatalf("DecodeRoot error = %v, want 64-bit word limit error", err)
+	}
+
+	fat := &model.Operation{
+		Name:        "fatop",
+		CodingWidth: 80,
+		Variants: []*model.Variant{{
+			Coding: &ast.CodingSec{
+				Elems: []ast.CodingElem{&ast.CodingPattern{Bits: strings.Repeat("x", 80)}},
+			},
+		}},
+	}
+	if err := m.AddOperation(fat); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Decode(fat, bitvec.New(0, 64))
+	if err == nil || !strings.Contains(err.Error(), "exceeds the 64-bit instruction word limit") {
+		t.Fatalf("Decode error = %v, want 64-bit word limit error", err)
 	}
 }

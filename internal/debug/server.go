@@ -21,6 +21,7 @@ import (
 
 	"golisa/internal/analyze"
 	"golisa/internal/ast"
+	"golisa/internal/fleet"
 	"golisa/internal/model"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
@@ -42,6 +43,10 @@ type Options struct {
 	// Recorder, when the simulation is being recorded, enables the
 	// time-travel endpoints /rstep, /goto and /rcontinue.
 	Recorder *replay.Recorder
+	// Batch backs POST /batch: a manifest of jobs run over one shared
+	// compiled-model artifact (internal/fleet), independent of the live
+	// simulation.
+	Batch *fleet.Service
 	// StartPaused stops the simulation at its first step boundary so
 	// breakpoints can be placed before any instruction runs.
 	StartPaused bool
@@ -119,6 +124,7 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/step", srv.handleStep)
 	srv.mux.HandleFunc("/break", srv.handleBreak)
 	srv.mux.HandleFunc("/watch", srv.handleWatch)
+	srv.mux.HandleFunc("/batch", srv.handleBatch)
 	srv.mux.HandleFunc("/rstep", srv.handleRStep)
 	srv.mux.HandleFunc("/goto", srv.handleGoto)
 	srv.mux.HandleFunc("/rcontinue", srv.handleRContinue)
@@ -140,6 +146,7 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li>/pause /resume /step?n=N — run control</li>
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
 <li>/watch?resource=NAME[&amp;clear=1] — resource watchpoints</li>
+<li>POST /batch — run a JSON job manifest over a shared artifact</li>
 <li>/rstep?n=N /goto?cycle=C /rcontinue — time travel (needs -record)</li>
 </ul>`, srv.sim.M.Name, srv.sim.M.Name)
 }
@@ -456,6 +463,32 @@ func (srv *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	ws := srv.ctrl.Watches()
 	sort.Strings(ws)
 	writeJSON(w, map[string]any{"watches": ws})
+}
+
+// handleBatch runs a POSTed job manifest through the fleet service. The
+// jobs execute on their own simulators sharing one artifact, so the live
+// simulation is neither paused nor touched; the response is the fleet
+// summary with per-job results in manifest order.
+func (srv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if srv.opts.Batch == nil {
+		http.Error(w, "no batch service attached", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON job manifest", http.StatusMethodNotAllowed)
+		return
+	}
+	var man fleet.Manifest
+	if err := json.NewDecoder(r.Body).Decode(&man); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sum, err := srv.opts.Batch.Run(&man)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, sum)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -12,6 +12,7 @@ import (
 
 	"golisa/internal/core"
 	"golisa/internal/debug"
+	"golisa/internal/fleet"
 	"golisa/internal/profile"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
@@ -269,5 +270,78 @@ func TestEndpointErrors(t *testing.T) {
 		if resp.StatusCode != tc.code {
 			t.Errorf("GET %s = %d, want %d", tc.path, resp.StatusCode, tc.code)
 		}
+	}
+}
+
+// TestBatchEndpoint posts a job manifest to /batch and checks the fleet
+// summary comes back, plus the endpoint's error paths (wrong method, file
+// paths over HTTP, endpoint disabled).
+func TestBatchEndpoint(t *testing.T) {
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := m.AssembleAndLoad(countdown, sim.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := debug.NewServer(s, debug.Options{
+		Batch: &fleet.Service{Machine: m, Mode: sim.Compiled},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	man, err := json.Marshal(fleet.Manifest{
+		Workers: 2,
+		Jobs: []fleet.Job{
+			{Name: "cd-1", Source: countdown},
+			{Name: "cd-2", Source: countdown},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(man)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /batch: %s: %s", resp.Status, body)
+	}
+	var sum fleet.Summary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 0 || len(sum.Results) != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	for i, r := range sum.Results {
+		if !r.Halted || r.Steps == 0 {
+			t.Errorf("job %d: %+v", i, r)
+		}
+	}
+
+	// GET is not allowed; file paths are rejected; and without a service
+	// the endpoint is 404.
+	if resp, err := http.Get(ts.URL + "/batch"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch = %d, want 405", resp.StatusCode)
+	}
+	bad := `{"jobs":[{"name":"x","program":"/etc/passwd"}]}`
+	if resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(bad)); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /batch with file path = %d, want 400", resp.StatusCode)
+	}
+	off := debug.NewServer(s, debug.Options{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	if resp, err := http.Post(tsOff.URL+"/batch", "application/json", strings.NewReader(string(man))); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("POST /batch without service = %d, want 404", resp.StatusCode)
 	}
 }

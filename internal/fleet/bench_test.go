@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"golisa/internal/sim"
+)
+
+// BenchmarkFleetScaling runs 64 FIR jobs four ways: a serial baseline where
+// every job builds its own simulator from scratch (assemble + decode +
+// compile per job), and the fleet with 1, 2, 4 and 8 workers sharing one
+// pre-warmed artifact. On a multi-core host the worker variants scale
+// near-linearly; every fleet variant additionally asserts that no job
+// performed any run-time decode or closure compilation.
+//
+//	go test ./internal/fleet -bench FleetScaling -benchtime 3x
+func BenchmarkFleetScaling(b *testing.B) {
+	mc, src := loadFIR(b)
+	const nJobs = 64
+	jobs := firJobs(src, nJobs)
+
+	b.Run("serial-standalone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < nJobs; j++ {
+				s, _, err := mc.AssembleAndLoad(src, sim.CompiledPrebound)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(1_000_000); err != nil {
+					b.Fatal(err)
+				}
+				if !s.Halted() {
+					b.Fatal("did not halt")
+				}
+			}
+		}
+	})
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum, err := Run(mc, sim.CompiledPrebound, jobs, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Failed != 0 {
+					b.Fatalf("failed jobs: %+v", sum.Results)
+				}
+				// Zero-recompilation acceptance: the shared artifact carries
+				// every decode and closure; no job re-does that work.
+				if sum.JobDecodes != 0 || sum.JobCompiles != 0 {
+					b.Fatalf("jobs re-did shared work: decodes=%d compiles=%d",
+						sum.JobDecodes, sum.JobCompiles)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+// Package fleet runs batches of simulation jobs concurrently over one
+// shared compiled-model artifact. The paper's compiled-simulation
+// principle — decode and bind once, re-execute many times — is applied
+// across runs instead of within one: the model is parsed, analyzed,
+// decoded and (in prebound mode) compiled to closures exactly once
+// (sim.Artifact), and every job gets only the cheap per-run state. M jobs
+// on N worker goroutines therefore pay the model-compilation cost once,
+// which the Summary's counters prove (JobDecodes and JobCompiles stay
+// zero when the job programs were pre-warmed).
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"golisa/internal/analyze"
+	"golisa/internal/asm"
+	"golisa/internal/core"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// Job is one simulation to run: a program plus its per-job configuration.
+// Source holds inline assembly text; Program names an assembly file and is
+// resolved into Source by LoadManifest (Run itself never touches the
+// filesystem).
+type Job struct {
+	Name     string `json:"name,omitempty"`
+	Program  string `json:"program,omitempty"`
+	Source   string `json:"source,omitempty"`
+	MaxSteps uint64 `json:"max,omitempty"` // 0 = Options.MaxSteps
+}
+
+// Result is the outcome of one job. Err is a string so results serialize
+// cleanly over the /batch endpoint and into -batch-json files.
+type Result struct {
+	Name    string            `json:"name"`
+	Steps   uint64            `json:"steps"`
+	Halted  bool              `json:"halted"`
+	Err     string            `json:"error,omitempty"`
+	Profile sim.Profile       `json:"profile"`
+	Prints  []string          `json:"prints,omitempty"`
+	Penalty map[string]uint64 `json:"penalty,omitempty"` // per-cause penalty cycles (Options.Analyze)
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Workers is the number of concurrent simulation goroutines;
+	// 0 or negative means runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxSteps caps each job that does not set its own limit
+	// (default 1,000,000 control steps).
+	MaxSteps uint64
+	// Analyze attaches a hazard analyzer to every job and aggregates
+	// per-cause penalty cycles into the results and the summary.
+	Analyze bool
+}
+
+// DefaultMaxSteps caps jobs when neither the job nor the options set one.
+const DefaultMaxSteps = 1_000_000
+
+// Summary aggregates a batch run. Results preserve the input job order
+// regardless of worker scheduling.
+type Summary struct {
+	Model   string `json:"model"`
+	Mode    string `json:"mode"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	Failed  int    `json:"failed"`
+
+	TotalSteps uint64        `json:"total_steps"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+
+	// Artifact-sharing accounting: the build-once costs versus the decode
+	// and compile work the jobs performed at run time.
+	PrewarmDecodes   uint64 `json:"prewarm_decodes"`
+	ArtifactCompiles uint64 `json:"artifact_compiles"`
+	CachedWords      int    `json:"cached_words"`
+	JobDecodes       uint64 `json:"job_decodes"`
+	JobCompiles      uint64 `json:"job_compiles"`
+
+	// Penalty aggregates per-cause penalty cycles over all analyzed jobs
+	// (Options.Analyze).
+	Penalty map[string]uint64 `json:"penalty,omitempty"`
+
+	Results []Result `json:"results"`
+}
+
+// Run assembles every job's program (distinct sources once), builds one
+// shared artifact pre-warmed with the union of all instruction words, and
+// executes the jobs on a pool of worker goroutines. Job failures (bad
+// assembly, run-time errors) are recorded in the job's Result, not
+// returned; Run errors only when the batch cannot start at all.
+func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fleet: no jobs")
+	}
+	pm, err := mc.ProgramMemory()
+	if err != nil {
+		return nil, err
+	}
+	assembler, err := mc.NewAssembler()
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble each distinct source once; jobs sharing a program share the
+	// assembled image (read-only afterwards).
+	progs := map[string]*asm.Program{}
+	asmErrs := map[string]error{}
+	var words []uint64
+	seen := map[uint64]bool{}
+	for _, job := range jobs {
+		src := job.Source
+		if _, done := progs[src]; done || asmErrs[src] != nil {
+			continue
+		}
+		prog, err := assembler.Assemble(src)
+		if err != nil {
+			asmErrs[src] = err
+			continue
+		}
+		progs[src] = prog
+		for _, w := range prog.Words {
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+	}
+
+	art := sim.NewArtifact(mc.Model, mode)
+	if err := art.Prewarm(words); err != nil {
+		return nil, err
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	defMax := opt.MaxSteps
+	if defMax == 0 {
+		defMax = DefaultMaxSteps
+	}
+
+	start := time.Now()
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := jobs[i]
+				res := Result{Name: job.Name}
+				if res.Name == "" {
+					res.Name = fmt.Sprintf("job-%d", i)
+				}
+				switch {
+				case job.Source == "":
+					res.Err = "no program source (set source, or program resolved by the manifest loader)"
+				case asmErrs[job.Source] != nil:
+					res.Err = asmErrs[job.Source].Error()
+				default:
+					max := job.MaxSteps
+					if max == 0 {
+						max = defMax
+					}
+					runJob(art, pm, progs[job.Source], max, opt.Analyze, &res)
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	sum := &Summary{
+		Model:            mc.Model.Name,
+		Mode:             mode.String(),
+		Jobs:             len(jobs),
+		Workers:          workers,
+		Elapsed:          time.Since(start),
+		PrewarmDecodes:   art.Decodes(),
+		ArtifactCompiles: art.Compiles(),
+		CachedWords:      art.CachedWords(),
+		Results:          results,
+	}
+	for i := range results {
+		r := &results[i]
+		if r.Err != "" {
+			sum.Failed++
+		}
+		sum.TotalSteps += r.Steps
+		sum.JobDecodes += r.Profile.Decodes
+		sum.JobCompiles += r.Profile.Compiles
+		for cause, n := range r.Penalty {
+			if sum.Penalty == nil {
+				sum.Penalty = map[string]uint64{}
+			}
+			sum.Penalty[cause] += n
+		}
+	}
+	return sum, nil
+}
+
+// runJob executes one simulation off the shared artifact and fills res.
+// Each job is fully isolated: its own state, pipelines, profile and (when
+// analyzing) observer.
+func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, doAnalyze bool, res *Result) {
+	s := sim.NewFromArtifact(art)
+	if err := s.Reset(); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	if err := s.LoadProgram(pm, prog.Origin, prog.Words); err != nil {
+		res.Err = err.Error()
+		return
+	}
+	s.OnPrint = func(msg string) { res.Prints = append(res.Prints, msg) }
+	var an *analyze.Analyzer
+	if doAnalyze {
+		an = analyze.New()
+		s.SetObserver(an)
+	}
+	n, err := s.Run(maxSteps)
+	res.Steps = n
+	res.Halted = s.Halted()
+	res.Profile = s.Profile()
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if an != nil {
+		res.Penalty = map[string]uint64{}
+		for c := trace.Cause(0); c < trace.NumCauses; c++ {
+			if p := an.PenaltyCycles(c); p > 0 {
+				res.Penalty[c.String()] = p
+			}
+		}
+	}
+}
+
+// SortedPenaltyCauses returns the summary's penalty causes in a stable
+// order for rendering.
+func (s *Summary) SortedPenaltyCauses() []string {
+	causes := make([]string, 0, len(s.Penalty))
+	for c := range s.Penalty {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	return causes
+}

@@ -223,11 +223,6 @@ type Variant struct {
 	Activation *ast.ActivationSec
 	Semantics  string
 	Custom     map[string]string
-
-	// Compiled is a cache slot for the pre-bound behavior closure compiler;
-	// it is populated lazily by the behavior package in compiled-simulation
-	// mode.
-	Compiled any
 }
 
 // Matches reports whether the variant's guards are satisfied by the given
@@ -428,6 +423,15 @@ func (m *Model) SortedCustomSections() []string {
 // instances and decoded label field values. Decoding builds instance trees
 // from instruction words; the assembler builds them from assembly text; the
 // simulator executes them.
+//
+// Instances are immutable once bound: after construction (and at the
+// latest after ResolveVariant) no field is written again, which is what
+// makes cached instances shareable across control steps and — via
+// sim.Artifact — across simulators on different goroutines. The only
+// post-construction write anywhere is ResolveVariant's caching of the
+// variant selection; instances placed in shared caches must have their
+// variants resolved eagerly (the decoder and artifact builder both do)
+// so that lazy resolution never races.
 type Instance struct {
 	Op      *Operation
 	Variant *Variant

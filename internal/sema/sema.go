@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"golisa/internal/ast"
+	"golisa/internal/bitvec"
 	"golisa/internal/model"
 )
 
@@ -480,6 +481,14 @@ func (a *Analyzer) computeCodingWidths() {
 		if width < 0 {
 			width = 0
 		}
+		// Instruction words are bitvec values, which carry at most
+		// bitvec.MaxWidth bits; a wider coding would silently truncate in
+		// the decoder and collide in the simulator's word-keyed decode
+		// cache, so reject it here with a real diagnostic.
+		if width > bitvec.MaxWidth {
+			a.errorf("operation %s: coding width %d exceeds the %d-bit instruction word limit",
+				op.Name, width, bitvec.MaxWidth)
+		}
 		memo[op] = width
 		op.CodingWidth = width
 		return width
@@ -513,7 +522,10 @@ func (a *Analyzer) computeCodingWidths() {
 					}
 				}
 			}
-			if w > op.RootResource.Width {
+			if w > bitvec.MaxWidth {
+				a.errorf("coding root %s: pattern width %d exceeds the %d-bit instruction word limit",
+					op.Name, w, bitvec.MaxWidth)
+			} else if w > op.RootResource.Width {
 				a.errorf("coding root %s: pattern width %d exceeds resource %s width %d",
 					op.Name, w, op.RootResource.Name, op.RootResource.Width)
 			}

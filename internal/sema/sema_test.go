@@ -304,3 +304,40 @@ func TestCountSourceLines(t *testing.T) {
 		t.Errorf("lines = %d, want 2", n)
 	}
 }
+
+func TestCodingWidthOver64Rejected(t *testing.T) {
+	// bitvec values carry at most 64 bits; a wider coding (possible for
+	// non-root operations via concatenation, since declared resource
+	// widths are already bounded) would silently truncate in the decoder.
+	errs := buildErrs(t, `
+RESOURCE {
+  REGISTER bit[64] insn;
+}
+OPERATION wide {
+  CODING { 0bx[40] 0bx[40] }
+  SYNTAX { "W" }
+}
+OPERATION root {
+  DECLARE { GROUP I = { wide }; }
+  CODING { insn == I }
+}`)
+	wantErr(t, errs, "exceeds the 64-bit instruction word limit")
+}
+
+func TestCodingWidthExactly64Accepted(t *testing.T) {
+	m := build(t, `
+RESOURCE {
+  REGISTER bit[64] insn;
+}
+OPERATION w64 {
+  CODING { 0bx[32] 0bx[32] }
+  SYNTAX { "W" }
+}
+OPERATION root {
+  DECLARE { GROUP I = { w64 }; }
+  CODING { insn == I }
+}`)
+	if got := m.Ops["w64"].CodingWidth; got != 64 {
+		t.Errorf("w64 coding width = %d, want 64", got)
+	}
+}

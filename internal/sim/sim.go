@@ -60,6 +60,16 @@ type Profile struct {
 	// RetiredByStage counts retired packets per retiring stage, keyed by
 	// the canonical "pipe.stage" signal name of each pipe's last stage.
 	RetiredByStage map[string]uint64
+
+	// Artifact-sharing counters. SharedDecodeHits is the subset of
+	// DecodeHits served from a shared artifact's pre-warmed cache;
+	// Compiles counts behavior closures and activation expressions
+	// compiled by this simulator at run time (pre-compiled artifact
+	// closures do not count). A fully pre-warmed prebound fleet job keeps
+	// both Decodes and Compiles at zero — the zero-recompilation property
+	// the fleet asserts.
+	SharedDecodeHits uint64
+	Compiles         uint64
 }
 
 // runItem is one pending execution with its pipeline context.
@@ -137,6 +147,13 @@ type Simulator struct {
 	decodeCache map[decodeKey]*model.Instance
 	staticInst  map[*model.Operation]*model.Instance
 	halt        *model.Resource
+
+	// Read-only views into a shared Artifact (nil for standalone
+	// simulators). Lookups consult these before the private maps above;
+	// misses are cached privately, so concurrent simulators never write
+	// to shared memory.
+	sharedDecode map[decodeKey]*model.Instance
+	sharedStatic map[*model.Operation]*model.Instance
 }
 
 type decodeKey struct {
@@ -144,8 +161,18 @@ type decodeKey struct {
 	word uint64
 }
 
-// New creates a simulator for the model in the given mode.
+// New creates a simulator for the model in the given mode, with all caches
+// private (and therefore cold). Batch workloads that run many programs on
+// one model should build a shared Artifact once and use NewFromArtifact
+// instead.
 func New(m *model.Model, mode Mode) *Simulator {
+	return newSimulator(m, mode, nil)
+}
+
+// newSimulator builds the per-run state; a non-nil artifact contributes
+// the shared decoder, static instances, decode cache and compiled
+// closures.
+func newSimulator(m *model.Model, mode Mode, a *Artifact) *Simulator {
 	s := &Simulator{
 		M:            m,
 		S:            model.NewState(m),
@@ -153,12 +180,18 @@ func New(m *model.Model, mode Mode) *Simulator {
 		ResetOp:      "reset",
 		HaltResource: "halt",
 		mode:         mode,
-		dec:          coding.NewDecoder(m),
 		pipeFor:      map[*model.Pipeline]*pipeline.Pipe{},
 		wheel:        map[uint64][]runItem{},
 		decodeCache:  map[decodeKey]*model.Instance{},
 		staticInst:   map[*model.Operation]*model.Instance{},
 		execs:        map[*model.Operation]uint64{},
+	}
+	if a != nil {
+		s.dec = a.dec
+		s.sharedDecode = a.decode
+		s.sharedStatic = a.static
+	} else {
+		s.dec = coding.NewDecoder(m)
 	}
 	for _, pd := range m.Pipelines {
 		p := pipeline.New(pd)
@@ -166,6 +199,9 @@ func New(m *model.Model, mode Mode) *Simulator {
 		s.pipeFor[pd] = p
 	}
 	s.x = &behavior.Exec{M: m, S: s.S, Ctx: (*simCtx)(s)}
+	if a != nil {
+		s.x.Shared = a.shared
+	}
 	s.halt = m.Resource(s.HaltResource)
 	return s
 }
@@ -220,6 +256,7 @@ func (s *Simulator) Observer() trace.Observer { return s.obs }
 // pipeline mechanism counters aggregated from the runtime pipes.
 func (s *Simulator) Profile() Profile {
 	p := s.prof
+	p.Compiles = s.x.Compiles
 	p.Execs = make(map[string]uint64, len(s.execs))
 	for op, v := range s.execs {
 		p.Execs[op.Name] = v
@@ -253,6 +290,7 @@ func (s *Simulator) Reset() error {
 	s.actGuards = s.actGuards[:0]
 	s.step = 0
 	s.prof = Profile{}
+	s.x.Compiles = 0
 	s.execs = map[*model.Operation]uint64{}
 	if op, ok := s.M.Ops[s.ResetOp]; ok {
 		if err := s.execute(runItem{inst: s.static(op)}); err != nil {
@@ -395,8 +433,13 @@ func (s *Simulator) drain() error {
 }
 
 // static returns the shared unbound instance for an operation (instances
-// are immutable after binding, so sharing is safe).
+// are immutable after binding, so sharing is safe). Artifact-backed
+// simulators use the artifact's pre-resolved instances; operations the
+// artifact could not pre-bind fall back to a private lazy instance.
 func (s *Simulator) static(op *model.Operation) *model.Instance {
+	if in, ok := s.sharedStatic[op]; ok {
+		return in
+	}
 	if in, ok := s.staticInst[op]; ok {
 		return in
 	}
@@ -469,6 +512,14 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 	word := s.S.Read(op.RootResource)
 	if s.mode != Interpretive {
 		key := decodeKey{op, word.Uint()}
+		if in, ok := s.sharedDecode[key]; ok {
+			s.prof.DecodeHits++
+			s.prof.SharedDecodeHits++
+			if s.obs != nil {
+				s.obs.OnDecode(op.Name, word.Uint(), true)
+			}
+			return in, nil
+		}
 		if in, ok := s.decodeCache[key]; ok {
 			s.prof.DecodeHits++
 			if s.obs != nil {
