@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -12,13 +13,18 @@ import (
 	"golisa/internal/sim"
 )
 
-// Batch is the -jobs/-workers/-batch-json flag group: batch simulation of
-// many programs over one shared compiled-model artifact (internal/fleet).
+// Batch is the -jobs/-workers/-batch-* flag group: batch simulation of
+// many programs over one shared compiled-model artifact (internal/fleet),
+// plus the fleet telemetry outputs (streaming progress, batch Chrome
+// trace, fleet metrics).
 type Batch struct {
-	Jobs    string
-	Workers int
-	JSONOut string
-	Analyze bool
+	Jobs       string
+	Workers    int
+	JSONOut    string
+	Analyze    bool
+	Progress   bool
+	TraceOut   string
+	MetricsOut string
 }
 
 // Register defines the batch flags on fs.
@@ -27,6 +33,9 @@ func (b *Batch) Register(fs *flag.FlagSet) {
 	fs.IntVar(&b.Workers, "workers", 0, "batch worker goroutines (0 = GOMAXPROCS, overrides the manifest)")
 	fs.StringVar(&b.JSONOut, "batch-json", "", "write the batch summary as JSON to this file")
 	fs.BoolVar(&b.Analyze, "batch-analyze", false, "attach a hazard analyzer to every batch job")
+	fs.BoolVar(&b.Progress, "batch-progress", false, "stream one NDJSON line per job to stdout as workers finish, then a summary record (replaces the human-readable table)")
+	fs.StringVar(&b.TraceOut, "batch-trace", "", "write the whole batch as a Chrome trace-event JSON (one lane per worker) to this file")
+	fs.StringVar(&b.MetricsOut, "batch-metrics", "", "write fleet metrics (Prometheus text) to this file after the batch")
 }
 
 // Run executes the batch named by -jobs. The command line supplies the
@@ -47,7 +56,7 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 			return err
 		}
 	}
-	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze}
+	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, MaxPrints: man.MaxPrints}
 	if b.Workers > 0 {
 		opt.Workers = b.Workers
 	}
@@ -55,45 +64,83 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 		opt.MaxSteps = max
 	}
 
+	// Telemetry sinks requested by the flags all ride the same spans.
+	var teles []fleet.Telemetry
+	var chrome *fleet.ChromeSpans
+	if b.TraceOut != "" {
+		chrome = fleet.NewChromeSpans()
+		teles = append(teles, chrome)
+	}
+	var fm *fleet.Metrics
+	if b.MetricsOut != "" {
+		fm = fleet.NewMetrics()
+		teles = append(teles, fm)
+	}
+	var stream *fleet.Streamer
+	if b.Progress {
+		stream = fleet.NewStreamer(os.Stdout)
+		teles = append(teles, stream)
+	}
+	opt.Telemetry = fleet.TeleFanout(teles...)
+
 	sum, err := fleet.Run(mc, mode, man.Jobs, opt)
 	if err != nil {
 		return err
 	}
+	if stream != nil && stream.Err() != nil {
+		return stream.Err()
+	}
 
-	fmt.Printf("; batch %s: %d jobs on %d workers, model %s, %s mode\n",
-		b.Jobs, sum.Jobs, sum.Workers, sum.Model, sum.Mode)
-	fmt.Printf("; artifact: %d prewarm decodes, %d compiles, %d cached words; jobs re-did %d decodes, %d compiles\n",
-		sum.PrewarmDecodes, sum.ArtifactCompiles, sum.CachedWords, sum.JobDecodes, sum.JobCompiles)
-	for _, r := range sum.Results {
-		status := "ok"
-		switch {
-		case r.Err != "":
-			status = "ERROR " + r.Err
-		case !r.Halted:
-			status = "step limit"
+	if !b.Progress {
+		fmt.Printf("; batch %s: %d jobs on %d workers, model %s, %s mode\n",
+			b.Jobs, sum.Jobs, sum.Workers, sum.Model, sum.Mode)
+		fmt.Printf("; artifact: %d prewarm decodes, %d compiles, %d cached words; jobs re-did %d decodes, %d compiles\n",
+			sum.PrewarmDecodes, sum.ArtifactCompiles, sum.CachedWords, sum.JobDecodes, sum.JobCompiles)
+		for _, r := range sum.Results {
+			status := "ok"
+			switch {
+			case r.Err != "":
+				status = "ERROR " + r.Err
+			case !r.Halted:
+				status = "step limit"
+			}
+			fmt.Printf("%-20s %10d steps  %s\n", r.Name, r.Steps, status)
+			for _, msg := range r.Prints {
+				fmt.Printf("  | %s\n", msg)
+			}
+			if r.PrintsTruncated {
+				fmt.Printf("  | ... (prints truncated at %d lines)\n", len(r.Prints))
+			}
 		}
-		fmt.Printf("%-20s %10d steps  %s\n", r.Name, r.Steps, status)
-		for _, msg := range r.Prints {
-			fmt.Printf("  | %s\n", msg)
+		for _, cause := range sum.SortedPenaltyCauses() {
+			fmt.Printf("; penalty[%s] = %d cycles\n", cause, sum.Penalty[cause])
+		}
+		lat := sum.Latency
+		fmt.Printf("; job latency p50 %v p90 %v p99 %v max %v; %.1f jobs/sec, %.0f%% worker utilization\n",
+			lat.P50.Round(time.Microsecond), lat.P90.Round(time.Microsecond),
+			lat.P99.Round(time.Microsecond), lat.Max.Round(time.Microsecond),
+			lat.JobsPerSec, lat.Utilization*100)
+		fmt.Printf("; %d total steps in %v wall\n", sum.TotalSteps, sum.Elapsed.Round(time.Microsecond))
+	}
+
+	if chrome != nil {
+		if err := writeFile(b.TraceOut, chrome.WriteJSON); err != nil {
+			return err
 		}
 	}
-	for _, cause := range sum.SortedPenaltyCauses() {
-		fmt.Printf("; penalty[%s] = %d cycles\n", cause, sum.Penalty[cause])
+	if fm != nil {
+		if err := writeFile(b.MetricsOut, fm.WriteText); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("; %d total steps in %v wall\n", sum.TotalSteps, sum.Elapsed.Round(time.Microsecond))
 
 	if b.JSONOut != "" {
-		f, err := os.Create(b.JSONOut)
+		err := writeFile(b.JSONOut, func(f io.Writer) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(sum)
+		})
 		if err != nil {
-			return err
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(sum); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 	}
@@ -101,4 +148,17 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 		return fmt.Errorf("%d of %d jobs failed", sum.Failed, sum.Jobs)
 	}
 	return nil
+}
+
+// writeFile creates name and runs emit against it, closing in all paths.
+func writeFile(name string, emit func(w io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

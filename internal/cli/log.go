@@ -1,0 +1,41 @@
+package cli
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// Structured diagnostics for the lisa-* tools: everything that is a
+// status or error report (as opposed to the tools' primary output) goes
+// through one log/slog logger on stderr, so service deployments get
+// parseable logs. The default handler is human-oriented key=value text;
+// -log-json switches to JSON lines.
+
+var (
+	logJSON bool
+	logOnce sync.Once
+	logger  *slog.Logger
+)
+
+// RegisterLogFlags defines the logging flags on fs. Common.Register
+// calls it, so every simulating tool exposes -log-json.
+func RegisterLogFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&logJSON, "log-json", false, "emit diagnostics as JSON log lines (log/slog) instead of key=value text")
+}
+
+// Log returns the tool's structured logger, built on first use (after
+// flag parsing) and tagged with the tool name.
+func Log() *slog.Logger {
+	logOnce.Do(func() {
+		var h slog.Handler
+		if logJSON {
+			h = slog.NewJSONHandler(os.Stderr, nil)
+		} else {
+			h = slog.NewTextHandler(os.Stderr, nil)
+		}
+		logger = slog.New(h).With("tool", Tool)
+	})
+	return logger
+}

@@ -111,20 +111,24 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			sess.Metrics = trace.NewMetrics()
 			observers = append(observers, sess.Metrics)
 		}
+		// One fleet metrics collector observes every batch the server
+		// runs and is exposed at /batch/metrics.
+		fm := fleet.NewMetrics()
 		sess.Server = debug.NewServer(s, debug.Options{
-			Metrics:     sess.Metrics,
-			Flight:      sess.Flight,
-			Profiler:    sess.Profiler,
-			Recorder:    sess.Recorder,
-			Analyzer:    sess.Analyzer,
-			Batch:       &fleet.Service{Machine: mc, Mode: s.Mode()},
-			StartPaused: o.HTTPPaused,
+			Metrics:      sess.Metrics,
+			Flight:       sess.Flight,
+			Profiler:     sess.Profiler,
+			Recorder:     sess.Recorder,
+			Analyzer:     sess.Analyzer,
+			Batch:        &fleet.Service{Machine: mc, Mode: s.Mode(), Telemetry: fm},
+			BatchMetrics: fm,
+			StartPaused:  o.HTTPPaused,
 		})
 		observers = append(observers, sess.Server.Attach())
 		l, err := net.Listen("tcp", o.HTTPAddr)
 		Fail(err)
 		sess.srvL = l
-		fmt.Fprintf(os.Stderr, "%s: live introspection on http://%s/\n", Tool, l.Addr())
+		Log().Info("live introspection server listening", "url", "http://"+l.Addr().String()+"/")
 		go func() { Fail(http.Serve(l, sess.Server.Handler())) }()
 	}
 	if len(observers) > 0 {
@@ -148,13 +152,13 @@ func (sess *Session) DumpFlightOnError(err error) {
 		return
 	}
 	if sess.Flight != nil {
-		fmt.Fprintf(os.Stderr, "%s: simulation error, dumping flight recorder:\n", Tool)
+		Log().Error("simulation error; dumping flight recorder", "err", err)
 		_ = sess.Flight.Dump(os.Stderr)
 	}
 	if sess.Recorder != nil {
 		if ferr := sess.Recorder.Flush(); ferr == nil {
-			fmt.Fprintf(os.Stderr, "%s: partial recording %s flushed (replayable up to cycle %d)\n",
-				Tool, sess.obs.RecordOut, sess.Recorder.HighWater())
+			Log().Info("partial recording flushed (still replayable)",
+				"file", sess.obs.RecordOut, "high_water_cycle", sess.Recorder.HighWater())
 		}
 	}
 }
@@ -209,6 +213,7 @@ func (sess *Session) Wait() {
 	if sess.srvL == nil {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "%s: run finished; still serving http://%s/ (interrupt to exit)\n", Tool, sess.srvL.Addr())
+	Log().Info("run finished; still serving (interrupt to exit)",
+		"url", "http://"+sess.srvL.Addr().String()+"/")
 	select {}
 }

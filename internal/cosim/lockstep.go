@@ -3,6 +3,7 @@ package cosim
 import (
 	"fmt"
 	"io"
+	"log/slog"
 
 	"golisa/internal/replay"
 	"golisa/internal/sim"
@@ -41,9 +42,16 @@ type Lockstep struct {
 	// WindowCycles bounds the pre-divergence window dumped from the
 	// recordings; 0 means the default of 8 cycles.
 	WindowCycles uint64
-	// Out, when non-nil, receives the flight-ring dump (and the
-	// divergence detail) the moment a mismatch is found.
+	// Out, when non-nil, receives the flight-ring dump (and, unless Log
+	// is set, the one-line divergence diagnostic) the moment a mismatch
+	// is found.
 	Out io.Writer
+	// Log, when non-nil, receives the divergence as a structured log/slog
+	// record (cycle, detail) instead of the free-text line on Out, so
+	// service deployments get parseable divergence logs. The ring and
+	// window dumps still go to Out — they are multi-line post-mortem
+	// artifacts, not log records.
+	Log *slog.Logger
 	// OnDivergence, when non-nil, is called once on the first mismatch.
 	OnDivergence func(cycle uint64, detail string)
 
@@ -94,8 +102,13 @@ func (l *Lockstep) diverge(cycle uint64, detail string) {
 	if l.RefRec != nil {
 		l.RefRec.Note("cosim divergence: "+detail, cycle)
 	}
+	if l.Log != nil {
+		l.Log.Error("cosim divergence", "cycle", cycle, "detail", detail)
+	}
 	if l.Out != nil {
-		fmt.Fprintf(l.Out, "cosim divergence at cycle %d: %s\n", cycle, detail)
+		if l.Log == nil {
+			fmt.Fprintf(l.Out, "cosim divergence at cycle %d: %s\n", cycle, detail)
+		}
 		if l.Flight != nil {
 			_ = l.Flight.Dump(l.Out)
 		}

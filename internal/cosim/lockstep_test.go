@@ -2,6 +2,8 @@ package cosim
 
 import (
 	"bytes"
+	"encoding/json"
+	"log/slog"
 	"strings"
 	"testing"
 
@@ -111,6 +113,57 @@ func TestLockstepDetectsDivergence(t *testing.T) {
 	}
 	if !strings.Contains(out, "DIVERGE") {
 		t.Errorf("flight ring dump has no DIVERGE event:\n%s", out)
+	}
+}
+
+// TestLockstepStructuredLog wires a slog logger into the checker and
+// expects the divergence as one structured record (cycle + detail attrs)
+// while the free-text one-liner is suppressed on Out; the ring dump still
+// lands there.
+func TestLockstepStructuredLog(t *testing.T) {
+	cpu, ref := lockstepPair(t)
+	flight := trace.NewFlight(32)
+	cpu.SetObserver(flight)
+
+	k := New(cpu)
+	ls := NewLockstep(cpu, ref)
+	ls.Flight = flight
+	var logBuf, dump strings.Builder
+	ls.Log = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	ls.Out = &dump
+	k.Attach(ls)
+
+	if err := k.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetScalar("accu", 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ls.Diverged {
+		t.Fatal("corrupted reference not detected")
+	}
+
+	var rec struct {
+		Level  string `json:"level"`
+		Msg    string `json:"msg"`
+		Cycle  uint64 `json:"cycle"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(logBuf.String()), &rec); err != nil {
+		t.Fatalf("log output is not one JSON record: %v:\n%s", err, logBuf.String())
+	}
+	if rec.Level != "ERROR" || rec.Msg != "cosim divergence" || rec.Cycle != ls.Cycle || !strings.Contains(rec.Detail, "accu") {
+		t.Errorf("structured record = %+v, want ERROR cosim divergence at cycle %d", rec, ls.Cycle)
+	}
+	out := dump.String()
+	if strings.Contains(out, "cosim divergence at cycle") {
+		t.Errorf("free-text one-liner still emitted alongside the structured log:\n%s", out)
+	}
+	if !strings.Contains(out, "flight recorder") {
+		t.Errorf("ring dump missing from Out:\n%s", out)
 	}
 }
 

@@ -13,6 +13,7 @@ package debug
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -43,10 +44,15 @@ type Options struct {
 	// Recorder, when the simulation is being recorded, enables the
 	// time-travel endpoints /rstep, /goto and /rcontinue.
 	Recorder *replay.Recorder
-	// Batch backs POST /batch: a manifest of jobs run over one shared
-	// compiled-model artifact (internal/fleet), independent of the live
-	// simulation.
+	// Batch backs POST /batch and POST /batch/stream: a manifest of jobs
+	// run over one shared compiled-model artifact (internal/fleet),
+	// independent of the live simulation.
 	Batch *fleet.Service
+	// BatchMetrics backs GET /batch/metrics (Prometheus exposition of the
+	// fleet's counters: jobs, failures, in-flight gauge, latency
+	// histogram). Typically the same collector installed as
+	// Batch.Telemetry so every batch feeds it.
+	BatchMetrics *fleet.Metrics
 	// StartPaused stops the simulation at its first step boundary so
 	// breakpoints can be placed before any instruction runs.
 	StartPaused bool
@@ -125,6 +131,8 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/break", srv.handleBreak)
 	srv.mux.HandleFunc("/watch", srv.handleWatch)
 	srv.mux.HandleFunc("/batch", srv.handleBatch)
+	srv.mux.HandleFunc("/batch/stream", srv.handleBatchStream)
+	srv.mux.HandleFunc("/batch/metrics", srv.handleBatchMetrics)
 	srv.mux.HandleFunc("/rstep", srv.handleRStep)
 	srv.mux.HandleFunc("/goto", srv.handleGoto)
 	srv.mux.HandleFunc("/rcontinue", srv.handleRContinue)
@@ -147,6 +155,8 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
 <li>/watch?resource=NAME[&amp;clear=1] — resource watchpoints</li>
 <li>POST /batch — run a JSON job manifest over a shared artifact</li>
+<li>POST /batch/stream — same manifest, NDJSON results streamed as jobs finish</li>
+<li><a href="/batch/metrics">/batch/metrics</a> — fleet counters (Prometheus)</li>
 <li>/rstep?n=N /goto?cycle=C /rcontinue — time travel (needs -record)</li>
 </ul>`, srv.sim.M.Name, srv.sim.M.Name)
 }
@@ -465,30 +475,101 @@ func (srv *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"watches": ws})
 }
 
+// maxBatchBody caps the request body of the batch endpoints: a manifest
+// of inline assembly sources has no business being larger.
+const maxBatchBody = 8 << 20
+
+// jsonError writes a JSON error body ({"error": msg}) with the given
+// status and correct Content-Type, the error convention of the batch
+// endpoints (their clients are programs, not browsers).
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// decodeManifest enforces the batch endpoints' request contract: the
+// fleet service must be attached, the method must be POST, the body must
+// be a JSON manifest under maxBatchBody bytes. On violation it writes
+// the JSON error response and returns ok=false.
+func (srv *Server) decodeManifest(w http.ResponseWriter, r *http.Request) (*fleet.Manifest, bool) {
+	if srv.opts.Batch == nil {
+		jsonError(w, http.StatusNotFound, "no batch service attached")
+		return nil, false
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		jsonError(w, http.StatusMethodNotAllowed, "POST a JSON job manifest")
+		return nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var man fleet.Manifest
+	if err := json.NewDecoder(r.Body).Decode(&man); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("manifest exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		jsonError(w, http.StatusBadRequest, "malformed manifest: "+err.Error())
+		return nil, false
+	}
+	return &man, true
+}
+
 // handleBatch runs a POSTed job manifest through the fleet service. The
 // jobs execute on their own simulators sharing one artifact, so the live
 // simulation is neither paused nor touched; the response is the fleet
 // summary with per-job results in manifest order.
 func (srv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if srv.opts.Batch == nil {
-		http.Error(w, "no batch service attached", http.StatusNotFound)
+	man, ok := srv.decodeManifest(w, r)
+	if !ok {
 		return
 	}
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a JSON job manifest", http.StatusMethodNotAllowed)
-		return
-	}
-	var man fleet.Manifest
-	if err := json.NewDecoder(r.Body).Decode(&man); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	sum, err := srv.opts.Batch.Run(&man)
+	sum, err := srv.opts.Batch.Run(man)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, sum)
+}
+
+// handleBatchStream runs a POSTed manifest like /batch but streams the
+// response as NDJSON: one "job" record the moment each worker finishes
+// (flushed per line), then one final "summary" record with the results
+// elided. A client watching a long batch sees every result as it lands —
+// the first piece of the simulation-as-a-service streaming surface.
+func (srv *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
+	man, ok := srv.decodeManifest(w, r)
+	if !ok {
+		return
+	}
+	// Headers are not flushed until the first record is written, and the
+	// fleet validates the manifest before any job runs, so a validation
+	// error can still replace them with a JSON error response.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st := fleet.NewStreamer(w)
+	if _, err := srv.opts.Batch.RunWith(man, st); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+}
+
+// handleBatchMetrics serves the fleet metrics collector (Prometheus text
+// exposition). Unlike /metrics it does not synchronize with the live
+// simulation — the fleet collector locks its own state.
+func (srv *Server) handleBatchMetrics(w http.ResponseWriter, r *http.Request) {
+	if srv.opts.BatchMetrics == nil {
+		jsonError(w, http.StatusNotFound, "no fleet metrics collector attached")
+		return
+	}
+	var buf strings.Builder
+	if err := srv.opts.BatchMetrics.WriteText(&buf); err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, buf.String())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

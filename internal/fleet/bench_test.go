@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"golisa/internal/sim"
@@ -56,4 +57,49 @@ func BenchmarkFleetScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFleetTelemetryOverhead measures what batch telemetry costs:
+// the same 64-job batch with telemetry detached (the nil fast path every
+// un-instrumented batch takes), with a Metrics collector attached, and
+// with the full flag stack (metrics + Chrome spans + a discarding NDJSON
+// streamer). The detached variant is the acceptance gate — it must stay
+// within noise of BenchmarkFleetScaling/workers-4, since the only
+// per-event cost without a sink is a nil check.
+//
+//	go test ./internal/fleet -bench FleetTelemetryOverhead -benchtime 3x
+func BenchmarkFleetTelemetryOverhead(b *testing.B) {
+	mc, src := loadFIR(b)
+	jobs := firJobs(src, 64)
+	const workers = 4
+
+	run := func(b *testing.B, tele Telemetry) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sum, err := Run(mc, sim.CompiledPrebound, jobs, Options{Workers: workers, Telemetry: tele})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Failed != 0 {
+				b.Fatalf("failed jobs: %+v", sum.Results)
+			}
+		}
+	}
+
+	b.Run("detached", func(b *testing.B) { run(b, nil) })
+	b.Run("metrics", func(b *testing.B) { run(b, NewMetrics()) })
+	b.Run("full-stack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sum, err := Run(mc, sim.CompiledPrebound, jobs, Options{
+				Workers:   workers,
+				Telemetry: TeleFanout(NewMetrics(), NewChromeSpans(), NewStreamer(io.Discard)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Failed != 0 {
+				b.Fatalf("failed jobs: %+v", sum.Results)
+			}
+		}
+	})
 }

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// ChromeSpans is a Telemetry sink rendering a whole batch as one Chrome
+// trace-event JSON (chrome://tracing, Perfetto): the batch-level build
+// phases (assembly, artifact prewarm) on a "batch" lane, and every job
+// as a duration slice on the lane of the worker that ran it, so queueing
+// gaps, stragglers and worker imbalance are visible on a single
+// timeline. It complements trace.ChromeTracer, which renders the cycles
+// *inside* one simulation; ChromeSpans renders the jobs *around* them.
+// One batch per collector; not safe for concurrent batches.
+type ChromeSpans struct {
+	events []spanEvent
+}
+
+// spanEvent mirrors the Chrome trace-event JSON schema (the subset used
+// here). Duplicated from trace's unexported struct so fleet keeps no
+// compile-time dependency on trace's internals.
+type spanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const spanPid = 1
+
+// batchTid is the lane carrying batch-level phases; worker w runs on
+// lane w+1.
+const batchTid = 0
+
+// NewChromeSpans creates an empty batch span collector.
+func NewChromeSpans() *ChromeSpans { return &ChromeSpans{} }
+
+// us converts a monotonic batch offset to Chrome trace microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func (c *ChromeSpans) meta(tid int, name string) {
+	c.events = append(c.events,
+		spanEvent{Name: "thread_name", Ph: "M", Pid: spanPid, Tid: tid,
+			Args: map[string]any{"name": name}},
+		spanEvent{Name: "thread_sort_index", Ph: "M", Pid: spanPid, Tid: tid,
+			Args: map[string]any{"sort_index": tid}},
+	)
+}
+
+// OnBatchStart implements Telemetry: one named lane per worker plus the
+// batch lane.
+func (c *ChromeSpans) OnBatchStart(info BatchInfo) {
+	c.events = append(c.events, spanEvent{
+		Name: "process_name", Ph: "M", Pid: spanPid, Tid: batchTid,
+		Args: map[string]any{"name": "lisa fleet " + info.Model + " (" + info.Mode + ")"},
+	})
+	c.meta(batchTid, "batch")
+	for w := 0; w < info.Workers; w++ {
+		c.meta(w+1, "worker "+strconv.Itoa(w))
+	}
+}
+
+// OnPhase implements Telemetry: build phases as slices on the batch lane.
+func (c *ChromeSpans) OnPhase(phase string, from, to time.Duration) {
+	c.events = append(c.events, spanEvent{
+		Name: phase, Cat: "build", Ph: "X",
+		Ts: us(from), Dur: us(to - from), Pid: spanPid, Tid: batchTid,
+	})
+}
+
+// OnJobQueued implements Telemetry: an instant on the batch lane marking
+// when the run queue filled (one per job would be noise; the first one
+// suffices as all jobs enqueue together).
+func (c *ChromeSpans) OnJobQueued(job int, name string, at time.Duration) {
+	if job != 0 {
+		return
+	}
+	c.events = append(c.events, spanEvent{
+		Name: "jobs queued", Cat: "queue", Ph: "i",
+		Ts: us(at), Pid: spanPid, Tid: batchTid,
+	})
+}
+
+// OnJobStart implements Telemetry (no event; the job's slice is emitted
+// whole on finish, which keeps begin/end pairing trivial).
+func (c *ChromeSpans) OnJobStart(int, int, string, time.Duration) {}
+
+// OnJobFinish implements Telemetry: the job as one slice on its worker's
+// lane, with outcome and queueing delay in the args.
+func (c *ChromeSpans) OnJobFinish(span Span) {
+	args := map[string]any{
+		"job":        span.Job,
+		"steps":      span.Steps,
+		"halted":     span.Halted,
+		"queued_for": (span.Started - span.Queued).String(),
+	}
+	if span.Err != "" {
+		args["error"] = span.Err
+	}
+	c.events = append(c.events, spanEvent{
+		Name: span.Name, Cat: "job", Ph: "X",
+		Ts: us(span.Started), Dur: us(span.Finished - span.Started),
+		Pid: spanPid, Tid: span.Worker + 1, Args: args,
+	})
+}
+
+// OnBatchEnd implements Telemetry: batch totals as an instant so the
+// summary is inspectable inside the trace viewer.
+func (c *ChromeSpans) OnBatchEnd(sum *Summary) {
+	c.events = append(c.events, spanEvent{
+		Name: "batch done", Cat: "batch", Ph: "i", Ts: us(sum.Elapsed),
+		Pid: spanPid, Tid: batchTid,
+		Args: map[string]any{
+			"jobs": sum.Jobs, "failed": sum.Failed,
+			"jobs_per_sec": sum.Latency.JobsPerSec,
+			"p50":          sum.Latency.P50.String(),
+			"p99":          sum.Latency.P99.String(),
+		},
+	})
+}
+
+// Len returns the number of buffered trace events.
+func (c *ChromeSpans) Len() int { return len(c.events) }
+
+// WriteJSON emits the buffered events as a Chrome trace-event JSON
+// object, the same envelope trace.ChromeTracer writes.
+func (c *ChromeSpans) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []spanEvent `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{TraceEvents: c.events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []spanEvent{}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

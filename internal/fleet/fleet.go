@@ -44,6 +44,16 @@ type Result struct {
 	Profile sim.Profile       `json:"profile"`
 	Prints  []string          `json:"prints,omitempty"`
 	Penalty map[string]uint64 `json:"penalty,omitempty"` // per-cause penalty cycles (Options.Analyze)
+
+	// Lifecycle timing, always populated: the worker-pool index that ran
+	// the job, how long it waited in the run queue, and how long it ran.
+	Worker    int           `json:"worker"`
+	QueuedFor time.Duration `json:"queued_for_ns"`
+	RunFor    time.Duration `json:"run_for_ns"`
+
+	// PrintsTruncated marks that the job emitted more print lines than
+	// Options.MaxPrints and the excess was dropped.
+	PrintsTruncated bool `json:"prints_truncated,omitempty"`
 }
 
 // Options configures a batch run.
@@ -57,10 +67,22 @@ type Options struct {
 	// Analyze attaches a hazard analyzer to every job and aggregates
 	// per-cause penalty cycles into the results and the summary.
 	Analyze bool
+	// MaxPrints caps each job's captured print lines so a print-looping
+	// program cannot exhaust the host's memory: 0 means DefaultMaxPrints,
+	// negative means unlimited. Jobs that hit the cap keep their first
+	// MaxPrints lines and get Result.PrintsTruncated set.
+	MaxPrints int
+	// Telemetry, when non-nil, receives the batch's lifecycle events
+	// (per-job spans, build phases, the final summary). Nil costs nothing.
+	Telemetry Telemetry
 }
 
 // DefaultMaxSteps caps jobs when neither the job nor the options set one.
 const DefaultMaxSteps = 1_000_000
+
+// DefaultMaxPrints caps per-job captured print lines when Options.MaxPrints
+// is zero.
+const DefaultMaxPrints = 1000
 
 // Summary aggregates a batch run. Results preserve the input job order
 // regardless of worker scheduling.
@@ -86,7 +108,26 @@ type Summary struct {
 	// (Options.Analyze).
 	Penalty map[string]uint64 `json:"penalty,omitempty"`
 
+	// Latency summarizes the per-job lifecycle spans.
+	Latency Latency `json:"latency"`
+
 	Results []Result `json:"results"`
+}
+
+// Latency is the batch's job-latency summary, computed from the per-job
+// lifecycle spans through an HDR-style histogram (quantiles are bucket
+// upper bounds, ≤6.25% high; Max is exact). Throughput and utilization
+// are the roadmap's simulation-as-a-service baseline numbers: jobs/sec
+// over the run phase, and the fraction of worker·time spent running jobs.
+type Latency struct {
+	P50        time.Duration `json:"p50_ns"`
+	P90        time.Duration `json:"p90_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Max        time.Duration `json:"max_ns"`
+	JobsPerSec float64       `json:"jobs_per_sec"`
+	// Utilization is sum(job run time) / (workers × batch run phase),
+	// 1.0 meaning every worker ran jobs wall-to-wall.
+	Utilization float64 `json:"worker_utilization"`
 }
 
 // Run assembles every job's program (distinct sources once), builds one
@@ -98,6 +139,8 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("fleet: no jobs")
 	}
+	batchStart := time.Now()
+	em := newTeleEmitter(opt.Telemetry, batchStart)
 	pm, err := mc.ProgramMemory()
 	if err != nil {
 		return nil, err
@@ -107,8 +150,18 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 		return nil, err
 	}
 
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	em.batchStart(BatchInfo{Model: mc.Model.Name, Mode: mode.String(), Jobs: len(jobs), Workers: workers})
+
 	// Assemble each distinct source once; jobs sharing a program share the
 	// assembled image (read-only afterwards).
+	asmFrom := time.Since(batchStart)
 	progs := map[string]*asm.Program{}
 	asmErrs := map[string]error{}
 	var words []uint64
@@ -131,38 +184,44 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 			}
 		}
 	}
+	em.phase("assemble", asmFrom, time.Since(batchStart))
 
+	prewarmFrom := time.Since(batchStart)
 	art := sim.NewArtifact(mc.Model, mode)
 	if err := art.Prewarm(words); err != nil {
 		return nil, err
 	}
+	em.phase("prewarm", prewarmFrom, time.Since(batchStart))
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	defMax := opt.MaxSteps
 	if defMax == 0 {
 		defMax = DefaultMaxSteps
 	}
+	maxPrints := opt.MaxPrints
+	if maxPrints == 0 {
+		maxPrints = DefaultMaxPrints
+	}
 
 	start := time.Now()
+	queuedAt := time.Since(batchStart)
+	if em != nil {
+		for i := range jobs {
+			em.jobQueued(i, jobLabel(i, jobs[i]), queuedAt)
+		}
+	}
 	results := make([]Result, len(jobs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
 				job := jobs[i]
-				res := Result{Name: job.Name}
-				if res.Name == "" {
-					res.Name = fmt.Sprintf("job-%d", i)
-				}
+				name := jobLabel(i, job)
+				startedAt := time.Since(batchStart)
+				em.jobStart(i, worker, name, startedAt)
+				res := Result{Name: name, Worker: worker}
 				switch {
 				case job.Source == "":
 					res.Err = "no program source (set source, or program resolved by the manifest loader)"
@@ -173,11 +232,20 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 					if max == 0 {
 						max = defMax
 					}
-					runJob(art, pm, progs[job.Source], max, opt.Analyze, &res)
+					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, &res)
 				}
+				finishedAt := time.Since(batchStart)
+				res.QueuedFor = startedAt - queuedAt
+				res.RunFor = finishedAt - startedAt
 				results[i] = res
+				em.jobFinish(Span{
+					Job: i, Name: name, Worker: worker,
+					Queued: queuedAt, Started: startedAt, Finished: finishedAt,
+					Steps: res.Steps, Halted: res.Halted, Err: res.Err,
+					Result: &results[i],
+				})
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		idx <- i
@@ -196,6 +264,8 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 		CachedWords:      art.CachedWords(),
 		Results:          results,
 	}
+	var hist Histogram
+	var busy time.Duration
 	for i := range results {
 		r := &results[i]
 		if r.Err != "" {
@@ -210,14 +280,38 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 			}
 			sum.Penalty[cause] += n
 		}
+		hist.Observe(uint64(r.RunFor))
+		busy += r.RunFor
 	}
+	sum.Latency = Latency{
+		P50: time.Duration(hist.Quantile(0.50)),
+		P90: time.Duration(hist.Quantile(0.90)),
+		P99: time.Duration(hist.Quantile(0.99)),
+		Max: time.Duration(hist.Max()),
+	}
+	if sec := sum.Elapsed.Seconds(); sec > 0 {
+		sum.Latency.JobsPerSec = float64(len(jobs)) / sec
+		sum.Latency.Utilization = busy.Seconds() / (float64(workers) * sec)
+	}
+	em.batchEnd(sum)
 	return sum, nil
+}
+
+// jobLabel resolves a job's display name (its manifest name, or a stable
+// index-derived fallback).
+func jobLabel(i int, j Job) string {
+	if j.Name != "" {
+		return j.Name
+	}
+	return fmt.Sprintf("job-%d", i)
 }
 
 // runJob executes one simulation off the shared artifact and fills res.
 // Each job is fully isolated: its own state, pipelines, profile and (when
-// analyzing) observer.
-func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, doAnalyze bool, res *Result) {
+// analyzing) observer. maxPrints > 0 caps the captured print lines
+// (negative = unlimited) so a print-looping program cannot exhaust the
+// host's memory.
+func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, maxPrints int, doAnalyze bool, res *Result) {
 	s := sim.NewFromArtifact(art)
 	if err := s.Reset(); err != nil {
 		res.Err = err.Error()
@@ -227,7 +321,13 @@ func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, do
 		res.Err = err.Error()
 		return
 	}
-	s.OnPrint = func(msg string) { res.Prints = append(res.Prints, msg) }
+	s.OnPrint = func(msg string) {
+		if maxPrints > 0 && len(res.Prints) >= maxPrints {
+			res.PrintsTruncated = true
+			return
+		}
+		res.Prints = append(res.Prints, msg)
+	}
 	var an *analyze.Analyzer
 	if doAnalyze {
 		an = analyze.New()

@@ -1,0 +1,90 @@
+package fleet
+
+import "math/bits"
+
+// Histogram is an HDR-style latency histogram: values below 32 are
+// recorded exactly, larger values land in power-of-two magnitude buckets
+// split into 16 linear sub-buckets, bounding the relative quantile error
+// at 1/16 (6.25%) over the whole uint64 range in fixed memory. It is the
+// backing store for the batch summary's latency quantiles; values are
+// nanoseconds there, but the histogram itself is unit-agnostic.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// 32 exact slots + 16 sub-buckets for each magnitude 2^5..2^63.
+const histBuckets = 32 + (64-5)*16
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < 32 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1                // 5..63
+	sub := int((v >> (uint(exp) - 4)) & 15) // 4 bits below the leading bit
+	return 32 + (exp-5)*16 + sub
+}
+
+// histUpper is the inclusive upper bound of bucket idx, the value
+// Quantile reports for ranks landing in it.
+func histUpper(idx int) uint64 {
+	if idx < 32 {
+		return uint64(idx)
+	}
+	exp := uint(5 + (idx-32)/16)
+	sub := uint64((idx - 32) % 16)
+	lower := uint64(1)<<exp | sub<<(exp-4)
+	return lower + (uint64(1) << (exp - 4)) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[histIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the running sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observed value (exact, not bucketed).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// observed values: the upper edge of the bucket holding the rank, capped
+// at the exact maximum. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := histUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}

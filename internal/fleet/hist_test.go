@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestHistogramBucketGeometry checks the index/upper-bound pair: every
+// value lands in a bucket whose upper bound is >= the value, the previous
+// bucket's bound is < the value, and the relative bucket width stays
+// within the advertised 1/16.
+func TestHistogramBucketGeometry(t *testing.T) {
+	vals := []uint64{0, 1, 31, 32, 33, 47, 48, 63, 64, 100, 1 << 10, (1 << 10) + 1,
+		1<<20 - 1, 1 << 20, 1<<32 + 12345, 1 << 62, math.MaxUint64}
+	for _, v := range vals {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("v=%d: index %d out of range", v, idx)
+		}
+		up := histUpper(idx)
+		if up < v {
+			t.Errorf("v=%d: bucket upper %d below the value", v, up)
+		}
+		if idx > 0 && histUpper(idx-1) >= v {
+			t.Errorf("v=%d: previous bucket upper %d not below the value", v, histUpper(idx-1))
+		}
+		if v >= 32 && up-v > v/16 {
+			t.Errorf("v=%d: upper %d exceeds the 1/16 relative error bound", v, up)
+		}
+	}
+	// Exact range: values below 32 are their own bucket.
+	for v := uint64(0); v < 32; v++ {
+		if histUpper(histIndex(v)) != v {
+			t.Errorf("v=%d not exact: upper=%d", v, histUpper(histIndex(v)))
+		}
+	}
+}
+
+// TestHistogramQuantiles feeds a deterministic pseudo-random stream and
+// checks every reported quantile is an upper bound of the exact one,
+// within the 1/16 relative error, with Max, Count and Sum exact.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	var vals []uint64
+	var sum uint64
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 1000; i++ {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		v := seed % 10_000_000 // ~latency-like nanosecond spread
+		vals = append(vals, v)
+		sum += v
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != 1000 || h.Sum() != sum || h.Max() != vals[len(vals)-1] {
+		t.Fatalf("count=%d sum=%d max=%d, want 1000/%d/%d", h.Count(), h.Sum(), h.Max(), sum, vals[len(vals)-1])
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		rank := int(q * 1000)
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%.2f: %d below the exact quantile %d", q, got, exact)
+		}
+		if got > exact+exact/16+1 {
+			t.Errorf("q=%.2f: %d exceeds exact %d by more than 1/16", q, got, exact)
+		}
+	}
+	if h.Quantile(1.0) != h.Max() {
+		t.Errorf("q=1 is %d, want the exact max %d", h.Quantile(1.0), h.Max())
+	}
+}
+
+// TestHistogramEmptyAndSmall covers the degenerate cases the batch summary
+// hits with tiny job counts.
+func TestHistogramEmptyAndSmall(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(7)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single observation: q=%v -> %d, want 7", q, got)
+		}
+	}
+}

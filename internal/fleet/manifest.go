@@ -16,12 +16,13 @@ import (
 // on-disk format of `lisa-sim -jobs manifest.json` and the request body of
 // the debug server's /batch endpoint.
 type Manifest struct {
-	Model   string `json:"model,omitempty"`   // builtin model name (defaults to the host's model)
-	Mode    string `json:"mode,omitempty"`    // interpretive | compiled | prebound
-	Workers int    `json:"workers,omitempty"` // 0 = GOMAXPROCS
-	Max     uint64 `json:"max,omitempty"`     // default per-job step cap
-	Analyze bool   `json:"analyze,omitempty"`
-	Jobs    []Job  `json:"jobs"`
+	Model     string `json:"model,omitempty"`   // builtin model name (defaults to the host's model)
+	Mode      string `json:"mode,omitempty"`    // interpretive | compiled | prebound
+	Workers   int    `json:"workers,omitempty"` // 0 = GOMAXPROCS
+	Max       uint64 `json:"max,omitempty"`     // default per-job step cap
+	Analyze   bool   `json:"analyze,omitempty"`
+	MaxPrints int    `json:"max_prints,omitempty"` // per-job print-line cap (0 = default, <0 unlimited)
+	Jobs      []Job  `json:"jobs"`
 }
 
 // LoadManifest reads a batch description from path. A directory becomes one
@@ -103,13 +104,22 @@ func jobName(path string) string {
 }
 
 // Service runs manifests against a fixed machine, for hosts like the
-// debug server's /batch endpoint. The zero values of Workers and MaxSteps
-// defer to each manifest (and then to the package defaults).
+// debug server's /batch endpoint. The zero values of Workers, MaxSteps
+// and MaxPrints defer to each manifest (and then to the package
+// defaults). A Service may serve concurrent batches; each builds its own
+// artifact, and the shared Telemetry sink (if any) must be safe for
+// concurrent batches, as *Metrics is.
 type Service struct {
-	Machine  *core.Machine
-	Mode     sim.Mode
-	Workers  int
-	MaxSteps uint64
+	Machine   *core.Machine
+	Mode      sim.Mode
+	Workers   int
+	MaxSteps  uint64
+	MaxPrints int
+	// Telemetry, when non-nil, observes every batch the service runs —
+	// typically one *Metrics collector exposed at /batch/metrics.
+	// Per-request sinks (a /batch/stream response) are passed to RunWith
+	// and fanned out alongside it.
+	Telemetry Telemetry
 }
 
 // Run executes a manifest against the service's machine. For safety in
@@ -117,6 +127,13 @@ type Service struct {
 // rejected rather than read from the host's filesystem. The manifest may
 // override the simulation mode but not the model.
 func (sv *Service) Run(man *Manifest) (*Summary, error) {
+	return sv.RunWith(man, nil)
+}
+
+// RunWith is Run with an additional per-request telemetry sink (say, an
+// NDJSON Streamer for one HTTP response) fanned out with the service's
+// own.
+func (sv *Service) RunWith(man *Manifest, tele Telemetry) (*Summary, error) {
 	if man == nil || len(man.Jobs) == 0 {
 		return nil, fmt.Errorf("batch: no jobs")
 	}
@@ -138,12 +155,21 @@ func (sv *Service) Run(man *Manifest) (*Summary, error) {
 			return nil, fmt.Errorf("batch: %v", err)
 		}
 	}
-	opt := Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: man.Analyze}
+	opt := Options{
+		Workers:   man.Workers,
+		MaxSteps:  man.Max,
+		Analyze:   man.Analyze,
+		MaxPrints: man.MaxPrints,
+		Telemetry: TeleFanout(sv.Telemetry, tele),
+	}
 	if opt.Workers <= 0 {
 		opt.Workers = sv.Workers
 	}
 	if opt.MaxSteps == 0 {
 		opt.MaxSteps = sv.MaxSteps
+	}
+	if opt.MaxPrints == 0 {
+		opt.MaxPrints = sv.MaxPrints
 	}
 	return Run(sv.Machine, mode, man.Jobs, opt)
 }

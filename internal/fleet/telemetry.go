@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BatchInfo describes a batch at the moment it starts: the shared model
+// and mode, the number of jobs, and the worker-pool size actually used
+// (after clamping to the job count).
+type BatchInfo struct {
+	Model   string
+	Mode    string
+	Jobs    int
+	Workers int
+}
+
+// Span is the completed lifecycle of one job. Queued, Started and
+// Finished are monotonic offsets from the batch start (Run entry), so
+// subtracting any two yields a real duration regardless of wall-clock
+// adjustments. Result points into the batch's result slice: it is fully
+// populated when OnJobFinish fires but must be treated as read-only and
+// not retained past the call (the batch owns it).
+type Span struct {
+	Job    int    // job index in the manifest
+	Name   string // resolved job label (Job.Name or "job-N")
+	Worker int    // worker-pool index that ran the job
+
+	Queued   time.Duration // job entered the run queue
+	Started  time.Duration // a worker picked it up
+	Finished time.Duration // the worker finished it
+
+	Steps  uint64
+	Halted bool
+	Err    string
+
+	Result *Result
+}
+
+// Telemetry receives batch lifecycle events. It is the batch-scale
+// analogue of trace.Observer: fleet.Run emits into it behind a nil check,
+// so an un-instrumented batch pays nothing, and all calls of one batch
+// are serialized under a single mutex even though jobs finish on
+// concurrent workers — an implementation never sees concurrent calls
+// from the same batch. A sink attached to several concurrent batches
+// (e.g. one Metrics collector behind a /batch endpoint) must still lock
+// its own state.
+//
+// Event order within a batch: OnBatchStart, then the build phases
+// (OnPhase "assemble", "prewarm"), then OnJobQueued for every job in
+// manifest order, then interleaved OnJobStart/OnJobFinish pairs in
+// completion order, then OnBatchEnd with the final summary.
+type Telemetry interface {
+	// OnBatchStart fires once, before any other event of the batch.
+	OnBatchStart(info BatchInfo)
+	// OnPhase reports one batch-level build phase ("assemble": every
+	// distinct source assembled once; "prewarm": the shared artifact's
+	// decode/compile pass) as offsets from the batch start.
+	OnPhase(phase string, from, to time.Duration)
+	// OnJobQueued fires once per job when the batch enters its run phase.
+	OnJobQueued(job int, name string, at time.Duration)
+	// OnJobStart fires when a worker picks the job up.
+	OnJobStart(job, worker int, name string, at time.Duration)
+	// OnJobFinish fires when the worker completes the job, with the full
+	// lifecycle span and the populated result.
+	OnJobFinish(span Span)
+	// OnBatchEnd fires last, with the summary all jobs aggregated into.
+	// The summary (latency stats included) is fully computed.
+	OnBatchEnd(sum *Summary)
+}
+
+// NopTelemetry implements Telemetry with no-ops; embed it to implement
+// only a subset of the interface.
+type NopTelemetry struct{}
+
+func (NopTelemetry) OnBatchStart(BatchInfo)                       {}
+func (NopTelemetry) OnPhase(string, time.Duration, time.Duration) {}
+func (NopTelemetry) OnJobQueued(int, string, time.Duration)       {}
+func (NopTelemetry) OnJobStart(int, int, string, time.Duration)   {}
+func (NopTelemetry) OnJobFinish(Span)                             {}
+func (NopTelemetry) OnBatchEnd(*Summary)                          {}
+
+// MultiTelemetry fans every event out to each sink in order.
+type MultiTelemetry []Telemetry
+
+// TeleFanout combines telemetry sinks, flattening nested fanouts and
+// dropping nils. It returns nil when no sink remains and the sole sink
+// when only one does, preserving the batch's nil fast path.
+func TeleFanout(ts ...Telemetry) Telemetry {
+	var m MultiTelemetry
+	for _, t := range ts {
+		switch v := t.(type) {
+		case nil:
+			continue
+		case MultiTelemetry:
+			m = append(m, v...)
+		default:
+			m = append(m, t)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+func (m MultiTelemetry) OnBatchStart(info BatchInfo) {
+	for _, t := range m {
+		t.OnBatchStart(info)
+	}
+}
+func (m MultiTelemetry) OnPhase(phase string, from, to time.Duration) {
+	for _, t := range m {
+		t.OnPhase(phase, from, to)
+	}
+}
+func (m MultiTelemetry) OnJobQueued(job int, name string, at time.Duration) {
+	for _, t := range m {
+		t.OnJobQueued(job, name, at)
+	}
+}
+func (m MultiTelemetry) OnJobStart(job, worker int, name string, at time.Duration) {
+	for _, t := range m {
+		t.OnJobStart(job, worker, name, at)
+	}
+}
+func (m MultiTelemetry) OnJobFinish(span Span) {
+	for _, t := range m {
+		t.OnJobFinish(span)
+	}
+}
+func (m MultiTelemetry) OnBatchEnd(sum *Summary) {
+	for _, t := range m {
+		t.OnBatchEnd(sum)
+	}
+}
+
+// teleEmitter serializes one batch's telemetry under a mutex and stamps
+// monotonic offsets from the batch start. A nil emitter (no telemetry
+// attached) makes every emit a single pointer comparison.
+type teleEmitter struct {
+	mu    sync.Mutex
+	t     Telemetry
+	start time.Time
+}
+
+func newTeleEmitter(t Telemetry, start time.Time) *teleEmitter {
+	if t == nil {
+		return nil
+	}
+	return &teleEmitter{t: t, start: start}
+}
+
+func (e *teleEmitter) batchStart(info BatchInfo) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnBatchStart(info)
+	e.mu.Unlock()
+}
+
+func (e *teleEmitter) phase(name string, from, to time.Duration) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnPhase(name, from, to)
+	e.mu.Unlock()
+}
+
+func (e *teleEmitter) jobQueued(job int, name string, at time.Duration) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnJobQueued(job, name, at)
+	e.mu.Unlock()
+}
+
+func (e *teleEmitter) jobStart(job, worker int, name string, at time.Duration) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnJobStart(job, worker, name, at)
+	e.mu.Unlock()
+}
+
+func (e *teleEmitter) jobFinish(span Span) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnJobFinish(span)
+	e.mu.Unlock()
+}
+
+func (e *teleEmitter) batchEnd(sum *Summary) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.t.OnBatchEnd(sum)
+	e.mu.Unlock()
+}
