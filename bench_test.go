@@ -11,6 +11,7 @@
 //	E9  BenchmarkObserverOverhead  — trace hook cost, nil vs metrics observer
 //	E10 BenchmarkRecordOverhead    — deterministic record/replay logging cost
 //	E11 BenchmarkAttributionOverhead — hazard attribution analyzer cost
+//	E12 BenchmarkCoverageOverhead  — model-coverage collector cost
 //
 // Run: go test -bench=. -benchmem
 package golisa_test
@@ -24,6 +25,7 @@ import (
 	"golisa"
 	"golisa/internal/analyze"
 	"golisa/internal/cosim"
+	"golisa/internal/cover"
 	"golisa/internal/replay"
 	"golisa/internal/trace"
 )
@@ -813,6 +815,47 @@ func BenchmarkAttributionOverhead(b *testing.B) {
 				b.StopTimer()
 				reload()
 				s.SetObserver(v.obs())
+				b.StartTimer()
+				cycles = runToHalt(b, s, 1_000_000)
+			}
+			b.ReportMetric(float64(cycles), "cycles/run")
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
+}
+
+// --- E12: model-coverage overhead ------------------------------------------------
+
+// BenchmarkCoverageOverhead measures the cost of lisa-sim -cov: the
+// coverage collector setting one bit per decode/exec/activation/hazard
+// event against the same kernel with no observer attached. "detached" is
+// the default configuration: the collector lives behind the Observer
+// seam and the nil-gated OnDecoded hook, so absent coverage must cost
+// nothing measurable.
+func BenchmarkCoverageOverhead(b *testing.B) {
+	m := loadMachine(b, "simple16")
+	for _, v := range []struct {
+		name   string
+		attach func(s *golisa.Simulator)
+	}{
+		{"detached", func(s *golisa.Simulator) {
+			s.OnDecoded = nil
+			s.SetObserver(nil)
+		}},
+		{"collector", func(s *golisa.Simulator) {
+			col := cover.NewCollector(cover.NewMap(m.Model))
+			s.OnDecoded = col.MarkDecoded
+			s.SetObserver(col)
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s, reload := prepSim(b, m, dotKernel, golisa.Compiled)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reload()
+				v.attach(s)
 				b.StartTimer()
 				cycles = runToHalt(b, s, 1_000_000)
 			}

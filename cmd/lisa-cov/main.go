@@ -1,0 +1,203 @@
+// lisa-cov measures model coverage: which parts of a LISA description a
+// run exercises, over four structural domains — coding-tree leaves
+// decoded, operations executed, ACTIVATION edges fired and hazard causes
+// observed. Statically unreachable coding leaves are excluded from every
+// denominator, and the report lists the uncovered items by model source
+// location.
+//
+// Usage:
+//
+//	lisa-cov -model simple16 prog.s                  # run, print the report
+//	lisa-cov -json cov.json -html cov.html prog.s    # mergeable JSON + heatmap
+//	lisa-cov -replay run.lrec                        # coverage of a recording
+//	lisa-cov -merge all.json a.json b.json           # union coverage files
+//	lisa-cov -diff a.json b.json                     # items covered by one side only
+//	lisa-cov -assert-full ops prog.s                 # exit 1 unless 100% op coverage
+//
+// Coverage files carry the model's enumeration fingerprint; merge and
+// diff refuse files taken against a different model (or a different
+// revision of it). With -replay the coverage comes from a verified
+// re-execution, so it is byte-identical to the live run's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golisa/internal/cli"
+	"golisa/internal/cover"
+	"golisa/internal/replay"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+func main() {
+	var common cli.Common
+	common.Register(flag.CommandLine)
+	jsonOut := flag.String("json", "", "write the coverage report as JSON (mergeable/diffable) to this file")
+	htmlOut := flag.String("html", "", "write the coverage report as a self-contained HTML heatmap to this file")
+	replayIn := flag.String("replay", "", "measure this .lrec recording (verified re-execution) instead of running a program")
+	mergeOut := flag.String("merge", "", "merge mode: union the argument coverage files into this file (same model only)")
+	diffMode := flag.Bool("diff", false, "diff mode: list the items covered by exactly one of two coverage files")
+	assertFull := flag.String("assert-full", "", "exit 1 unless this domain (leaves, ops, edges or causes) reaches 100% coverage")
+	quiet := flag.Bool("quiet", false, "suppress the terminal report (useful with -json/-html/-assert-full)")
+	flag.Parse()
+
+	switch {
+	case *mergeOut != "":
+		runMerge(*mergeOut, flag.Args())
+		return
+	case *diffMode:
+		runDiff(&common, flag.Args())
+		return
+	}
+
+	var cm *cover.Map
+	var snap *cover.Snapshot
+	switch {
+	case *replayIn != "":
+		if flag.NArg() != 0 {
+			cli.Usage("-replay run.lrec (no program argument)")
+		}
+		cm, snap = replayCoverage(*replayIn)
+	default:
+		if flag.NArg() != 1 {
+			cli.Usage("[-model m] [-mode m] [-json f] [-html f] [-assert-full domain] prog.s | -replay run.lrec | -merge out.json files... | -diff a.json b.json")
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		cli.Fail(err)
+		cm, snap = runCoverage(&common, string(src))
+	}
+
+	rep, err := cm.Resolve(snap)
+	cli.Fail(err)
+	if !*quiet {
+		cli.Fail(rep.WriteText(os.Stdout))
+	}
+	write := func(name string, emit func(f *os.File) error) {
+		f, err := os.Create(name)
+		cli.Fail(err)
+		cli.Fail(emit(f))
+		cli.Fail(f.Close())
+		fmt.Fprintf(os.Stderr, "%s: wrote %s\n", cli.Tool, name)
+	}
+	if *jsonOut != "" {
+		write(*jsonOut, func(f *os.File) error { return rep.WriteJSON(f) })
+	}
+	if *htmlOut != "" {
+		write(*htmlOut, func(f *os.File) error { return rep.WriteHTML(f) })
+	}
+	if *assertFull != "" {
+		assertDomainFull(rep, *assertFull)
+	}
+}
+
+// runCoverage executes a program with a coverage collector attached
+// BEFORE reset, so the reset operation itself is covered (the fleet and
+// lisa-sim attach after construction and never see it).
+func runCoverage(common *cli.Common, src string) (*cover.Map, *cover.Snapshot) {
+	m, mode := common.Load()
+	assembler, err := m.NewAssembler()
+	cli.Fail(err)
+	prog, err := assembler.Assemble(src)
+	cli.Fail(err)
+	pm, err := m.ProgramMemory()
+	cli.Fail(err)
+
+	s := sim.New(m.Model, mode)
+	cm := cover.NewMap(m.Model)
+	col := cover.NewCollector(cm)
+	s.OnDecoded = col.MarkDecoded
+	s.SetObserver(col)
+	s.OnPrint = func(string) {} // target prints are not part of the report
+	cli.Fail(s.Reset())
+	cli.Fail(s.LoadProgram(pm, prog.Origin, prog.Words))
+	_, err = s.Run(common.Max)
+	cli.Fail(err)
+	return cm, col.Snapshot()
+}
+
+// replayCoverage measures a recording through a verified re-execution:
+// the collector rides the verifier's observer fanout, so its events are
+// exactly the ones the verifier proves equal to the recording.
+func replayCoverage(path string) (*cover.Map, *cover.Snapshot) {
+	rec, err := cli.OpenRecording(path)
+	cli.Fail(err)
+	rp, err := replay.NewReplayer(rec)
+	cli.Fail(err)
+	cm := cover.NewMap(rp.Sim.M)
+	col := cover.NewCollector(cm)
+	rp.Sim.OnDecoded = col.MarkDecoded
+	rp.SetExtra(trace.Observer(col))
+	if _, err := rp.Verify(); err != nil {
+		cli.Fail(fmt.Errorf("replay verification failed (coverage would be unreliable): %w", err))
+	}
+	return cm, col.Snapshot()
+}
+
+// runMerge unions coverage files (reports or snapshots) into out.
+func runMerge(out string, files []string) {
+	if len(files) < 1 {
+		cli.Usage("-merge out.json cov.json [cov.json ...]")
+	}
+	merged := loadSnap(files[0])
+	for _, name := range files[1:] {
+		s := loadSnap(name)
+		if err := merged.Merge(s); err != nil {
+			cli.Fail(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	f, err := os.Create(out)
+	cli.Fail(err)
+	cli.Fail(merged.Write(f))
+	cli.Fail(f.Close())
+	fmt.Fprintf(os.Stderr, "%s: merged %d files into %s\n", cli.Tool, len(files), out)
+}
+
+// runDiff lists the items covered by exactly one of two files, resolving
+// item names through the model named by -model.
+func runDiff(common *cli.Common, files []string) {
+	if len(files) != 2 {
+		cli.Usage("-diff [-model m] a.json b.json")
+	}
+	a, b := loadSnap(files[0]), loadSnap(files[1])
+	m, _ := common.Load()
+	cm := cover.NewMap(m.Model)
+	diff, err := cm.Diff(a, b)
+	cli.Fail(err)
+	cli.Fail(cover.WriteDiffText(os.Stdout, diff))
+}
+
+func loadSnap(name string) *cover.Snapshot {
+	f, err := os.Open(name)
+	cli.Fail(err)
+	defer f.Close()
+	s, err := cover.Load(f)
+	if err != nil {
+		cli.Fail(fmt.Errorf("%s: %w", name, err))
+	}
+	return s
+}
+
+// assertDomainFull exits 1 with the uncovered list unless the domain is
+// fully covered — the CI smoke's teeth.
+func assertDomainFull(rep *cover.Report, domain string) {
+	if cover.DomainIndex(domain) < 0 {
+		cli.Usage(fmt.Sprintf("-assert-full %s: unknown domain (want leaves, ops, edges or causes)", domain))
+	}
+	for _, d := range rep.Domains {
+		if d.Name != domain {
+			continue
+		}
+		if d.Covered == d.Total {
+			fmt.Printf("%s coverage full: %d/%d\n", domain, d.Covered, d.Total)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s coverage %d/%d, uncovered:\n", cli.Tool, domain, d.Covered, d.Total)
+		for _, it := range d.Uncovered {
+			fmt.Fprintf(os.Stderr, "  %s\t%s\n", it.Name, it.Pos)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,7 +1,10 @@
 // lisa-stats prints the paper-§4 model-complexity statistics for a LISA
 // model (experiment E1): resources, operations, instructions, aliases,
 // source lines and lines per operation, plus the coding-tree shape
-// (decode-tree depth and per-operation coding-width distribution).
+// (decode-tree depth and per-operation coding-width distribution) and
+// the statically unreachable coding-tree leaves (group members shadowed
+// by an earlier member, so no instruction word can ever select them —
+// the dead space model coverage excludes from its denominators).
 //
 // Usage:
 //
@@ -15,9 +18,20 @@ import (
 	"os"
 
 	"golisa/internal/cli"
+	"golisa/internal/coding"
 	"golisa/internal/core"
 	"golisa/internal/model"
 )
+
+// statsOut is one model's JSON record: the paper-§4 statistics plus the
+// unreachable-leaf report. Stats is embedded, so existing consumers of
+// the flat JSON shape keep working.
+type statsOut struct {
+	model.Stats
+	// Unreachable lists coding-group members shadowed by an earlier
+	// member (statically undecodable encodings).
+	Unreachable []coding.Unreachable `json:"unreachable,omitempty"`
+}
 
 func main() {
 	modelName := flag.String("model", "", "builtin model name (simple16, c62x, simd16)")
@@ -43,9 +57,13 @@ func main() {
 		}
 	}
 
-	stats := make([]model.Stats, 0, len(machines))
+	stats := make([]statsOut, 0, len(machines))
 	for _, name := range sortedKeys(machines) {
-		stats = append(stats, machines[name].Stats())
+		mc := machines[name]
+		stats = append(stats, statsOut{
+			Stats:       mc.Stats(),
+			Unreachable: coding.FindUnreachable(mc.Model),
+		})
 	}
 
 	if *asJSON {
@@ -69,6 +87,19 @@ func main() {
 			st.ModelName, st.CodingRoots, st.CodingDepth, st.CodedOps,
 			st.MinCodingWidth, st.MaxCodingWidth, st.AvgCodingWidth)
 	}
+
+	headed := false
+	for _, st := range stats {
+		for _, u := range st.Unreachable {
+			if !headed {
+				fmt.Printf("\nstatically unreachable coding leaves (first-match shadowing):\n")
+				headed = true
+			}
+			fmt.Printf("  %-10s %-12s shadowed by %-12s in %-14s %s\n",
+				st.ModelName, u.Op, u.ShadowedBy, u.Group, u.Pos)
+		}
+	}
+
 	fmt.Println("\npaper §4 reference (full TMS320C6201): 54 resources, 256 operations, 156 instructions + 8 aliases, 5362 lines (~21 lines/op)")
 }
 

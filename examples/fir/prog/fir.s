@@ -27,4 +27,17 @@ inner:  LD  A6, A4, 0     ; h[k]   (1 load delay slot)
         BNZ A10, outer
         NOP
         NOP
-        HALT
+; post-loop epilogue: scramble a scratch value through the remaining ALU
+; ops and take the unconditional branch, so the FIR run covers every
+; operation of the model (the CI coverage smoke asserts exactly that).
+        LD  A6, A3, 0
+        NOP
+        MPY A7, A6, B1
+        AND A7, A7, A6
+        OR  A7, A7, A6
+        XOR A7, A7, A7
+        B   end
+        NOP               ; branch delay slot 1
+        NOP               ; branch delay slot 2
+        NOP               ; skipped by the branch
+end:    HALT

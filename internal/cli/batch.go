@@ -22,6 +22,7 @@ type Batch struct {
 	Workers    int
 	JSONOut    string
 	Analyze    bool
+	Cover      bool
 	Progress   bool
 	TraceOut   string
 	MetricsOut string
@@ -33,6 +34,7 @@ func (b *Batch) Register(fs *flag.FlagSet) {
 	fs.IntVar(&b.Workers, "workers", 0, "batch worker goroutines (0 = GOMAXPROCS, overrides the manifest)")
 	fs.StringVar(&b.JSONOut, "batch-json", "", "write the batch summary as JSON to this file")
 	fs.BoolVar(&b.Analyze, "batch-analyze", false, "attach a hazard analyzer to every batch job")
+	fs.BoolVar(&b.Cover, "batch-cover", false, "collect model coverage per job and union it into the batch summary")
 	fs.BoolVar(&b.Progress, "batch-progress", false, "stream one NDJSON line per job to stdout as workers finish, then a summary record (replaces the human-readable table)")
 	fs.StringVar(&b.TraceOut, "batch-trace", "", "write the whole batch as a Chrome trace-event JSON (one lane per worker) to this file")
 	fs.StringVar(&b.MetricsOut, "batch-metrics", "", "write fleet metrics (Prometheus text) to this file after the batch")
@@ -56,7 +58,7 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 			return err
 		}
 	}
-	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, MaxPrints: man.MaxPrints}
+	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, Cover: b.Cover || man.Cover, MaxPrints: man.MaxPrints}
 	if b.Workers > 0 {
 		opt.Workers = b.Workers
 	}
@@ -114,6 +116,15 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 		}
 		for _, cause := range sum.SortedPenaltyCauses() {
 			fmt.Printf("; penalty[%s] = %d cycles\n", cause, sum.Penalty[cause])
+		}
+		if sum.Coverage != nil {
+			for _, d := range sum.Coverage.Domains {
+				pct := 100.0
+				if d.Total > 0 {
+					pct = 100 * float64(d.Covered) / float64(d.Total)
+				}
+				fmt.Printf("; coverage[%s] = %d/%d (%.1f%%)\n", d.Name, d.Covered, d.Total, pct)
+			}
 		}
 		lat := sum.Latency
 		fmt.Printf("; job latency p50 %v p90 %v p99 %v max %v; %.1f jobs/sec, %.0f%% worker utilization\n",

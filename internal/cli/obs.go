@@ -10,6 +10,7 @@ import (
 	"golisa/internal/analyze"
 	"golisa/internal/asm"
 	"golisa/internal/core"
+	"golisa/internal/cover"
 	"golisa/internal/debug"
 	"golisa/internal/fleet"
 	"golisa/internal/profile"
@@ -33,6 +34,9 @@ type Obs struct {
 	Analyze     bool
 	AnalyzeJSON string
 	AnalyzeHTML string
+	Cov         bool
+	CovJSON     string
+	CovHTML     string
 }
 
 // Register defines the flags on fs.
@@ -48,11 +52,20 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Analyze, "analyze", false, "print the hazard attribution report (stall/flush causes, CPI breakdown) after the run")
 	fs.StringVar(&o.AnalyzeJSON, "analyze-json", "", "write the hazard attribution report as JSON to this file")
 	fs.StringVar(&o.AnalyzeHTML, "analyze-html", "", "write the hazard attribution report as a self-contained HTML page to this file")
+	fs.BoolVar(&o.Cov, "cov", false, "print the model-coverage report (coding leaves, ops, activation edges, hazard causes) after the run")
+	fs.StringVar(&o.CovJSON, "cov-json", "", "write the model-coverage report as JSON (mergeable/diffable with lisa-cov) to this file")
+	fs.StringVar(&o.CovHTML, "cov-html", "", "write the model-coverage report as an HTML heatmap to this file")
 }
 
 // wantAnalyzer reports whether any flag asked for hazard attribution.
 func (o *Obs) wantAnalyzer() bool {
 	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != ""
+}
+
+// wantCover reports whether any flag asked for model coverage (the live
+// server always gets a collector so /coverage works).
+func (o *Obs) wantCover() bool {
+	return o.Cov || o.CovJSON != "" || o.CovHTML != "" || o.HTTPAddr != ""
 }
 
 // Session is one run's observability stack, assembled by Obs.Setup.
@@ -62,6 +75,7 @@ type Session struct {
 	Profiler *profile.Profiler
 	Recorder *replay.Recorder
 	Analyzer *analyze.Analyzer
+	Cover    *cover.Collector
 	Server   *debug.Server
 
 	obs  Obs
@@ -106,6 +120,11 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 		sess.Analyzer = analyze.New()
 		observers = append(observers, sess.Analyzer)
 	}
+	if o.wantCover() {
+		sess.Cover = cover.NewCollector(cover.NewMap(mc.Model))
+		s.OnDecoded = sess.Cover.MarkDecoded
+		observers = append(observers, sess.Cover)
+	}
 	if o.HTTPAddr != "" {
 		if sess.Metrics == nil {
 			sess.Metrics = trace.NewMetrics()
@@ -120,6 +139,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Profiler:     sess.Profiler,
 			Recorder:     sess.Recorder,
 			Analyzer:     sess.Analyzer,
+			Cover:        sess.Cover,
 			Batch:        &fleet.Service{Machine: mc, Mode: s.Mode(), Telemetry: fm},
 			BatchMetrics: fm,
 			StartPaused:  o.HTTPPaused,
@@ -191,6 +211,19 @@ func (sess *Session) Close() {
 		}
 		if sess.obs.AnalyzeHTML != "" {
 			write(sess.obs.AnalyzeHTML, func(f *os.File) error { return rep.WriteHTML(f) })
+		}
+	}
+	if sess.Cover != nil && (sess.obs.Cov || sess.obs.CovJSON != "" || sess.obs.CovHTML != "") {
+		rep, err := sess.Cover.Map().Resolve(sess.Cover.Snapshot())
+		Fail(err)
+		if sess.obs.Cov {
+			Fail(rep.WriteText(os.Stdout))
+		}
+		if sess.obs.CovJSON != "" {
+			write(sess.obs.CovJSON, func(f *os.File) error { return rep.WriteJSON(f) })
+		}
+		if sess.obs.CovHTML != "" {
+			write(sess.obs.CovHTML, func(f *os.File) error { return rep.WriteHTML(f) })
 		}
 	}
 	if sess.Profiler == nil {

@@ -1,0 +1,61 @@
+package cover
+
+import (
+	"html/template"
+	"io"
+)
+
+// Cell is one item of the HTML heatmap: the item plus whether the run
+// covered it. Cells are populated by Resolve but not serialized — the
+// JSON form stays a Snapshot superset and rebuilds cells from the map.
+type Cell struct {
+	Item
+	Covered bool
+}
+
+// WriteHTML writes the report as a self-contained HTML page (inline
+// CSS, no external assets): one coverage bar per domain and a heatmap
+// of every item, green when covered, red when not.
+func (r *Report) WriteHTML(w io.Writer) error {
+	return coverTmpl.Execute(w, r)
+}
+
+var coverTmpl = template.Must(template.New("cover").Funcs(template.FuncMap{
+	"pct": func(f float64) float64 { return 100 * f },
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>model coverage — {{.Model}}</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+.bar { display: flex; height: 1.2em; border: 1px solid #999; overflow: hidden; max-width: 40em; }
+.bar span { display: block; height: 100%; background: #5fb878; }
+.map { display: flex; flex-wrap: wrap; gap: 3px; max-width: 56em; }
+.map i { display: block; padding: .1em .45em; font-style: normal; font-size: .85em;
+         border: 1px solid #999; border-radius: 3px; }
+.map i.hit { background: #d6f0dc; border-color: #5fb878; }
+.map i.miss { background: #f6d9d9; border-color: #d94a4a; }
+table { border-collapse: collapse; margin: .5em 0; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: left; }
+th { background: #f3f3f3; }
+small { color: #666; }
+</style>
+</head>
+<body>
+<h1>model coverage — {{.Model}}</h1>
+<p><small>enumeration fingerprint {{.Fingerprint}}</small></p>
+
+{{range .Domains}}<h2>{{.Name}} — {{.Covered}}/{{.Total}} ({{printf "%.1f" (pct .Share)}}%)</h2>
+<div class="bar"><span style="width: {{printf "%.3f" (pct .Share)}}%"></span></div>
+<div class="map">{{range .Cells}}<i class="{{if .Covered}}hit{{else}}miss{{end}}" title="{{.Pos}}">{{.Name}}</i>{{end}}</div>
+{{end}}
+
+{{if .Excluded}}<h2>statically unreachable leaves (excluded)</h2>
+<table><tr><th>operation</th><th>shadowed by</th><th>group</th><th>position</th></tr>
+{{range .Excluded}}<tr><td>{{.Op}}</td><td>{{.ShadowedBy}}</td><td>{{.Group}}</td><td>{{.Pos}}</td></tr>
+{{end}}</table>{{end}}
+</body>
+</html>
+`))

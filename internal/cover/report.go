@@ -1,0 +1,200 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"golisa/internal/coding"
+)
+
+// DomainReport is DomainSnap plus the resolved item lists: what share
+// of the domain a run covered and which items it missed, by model
+// source location. The JSON keys of the shared fields match DomainSnap,
+// so a report file loads back as a Snapshot.
+type DomainReport struct {
+	Name      string  `json:"name"`
+	Total     int     `json:"total"`
+	Covered   int     `json:"covered"`
+	Share     float64 `json:"share"`
+	Bits      Bitset  `json:"bits"`
+	Uncovered []Item  `json:"uncovered,omitempty"`
+	// Cells back the HTML heatmap (every item with its covered flag);
+	// not serialized, so the JSON form stays a Snapshot superset.
+	Cells []Cell `json:"-"`
+}
+
+// Report is a resolved coverage report: snapshot bits joined with the
+// map's item names. Its JSON form is a strict superset of Snapshot.
+type Report struct {
+	Model       string               `json:"model"`
+	Fingerprint string               `json:"fingerprint"`
+	Domains     []DomainReport       `json:"domains"`
+	Excluded    []coding.Unreachable `json:"excluded,omitempty"`
+}
+
+// Resolve joins a snapshot with the map it was collected against.
+func (cm *Map) Resolve(s *Snapshot) (*Report, error) {
+	if err := s.Compatible(cm); err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Model:       cm.Model,
+		Fingerprint: s.Fingerprint,
+		Excluded:    cm.SortedExcluded(),
+	}
+	for d := 0; d < NumDomains; d++ {
+		snap := s.Domain(DomainNames[d])
+		if snap == nil {
+			return nil, fmt.Errorf("cover: snapshot is missing domain %q", DomainNames[d])
+		}
+		dr := DomainReport{
+			Name:    DomainNames[d],
+			Total:   len(cm.Items[d]),
+			Covered: snap.Bits.Count(),
+			Bits:    snap.Bits.Clone(),
+		}
+		if dr.Total > 0 {
+			dr.Share = float64(dr.Covered) / float64(dr.Total)
+		}
+		for i, it := range cm.Items[d] {
+			covered := snap.Bits.Get(i)
+			if !covered {
+				dr.Uncovered = append(dr.Uncovered, it)
+			}
+			dr.Cells = append(dr.Cells, Cell{Item: it, Covered: covered})
+		}
+		r.Domains = append(r.Domains, dr)
+	}
+	return r, nil
+}
+
+// WriteJSON writes the report as indented JSON (loadable as a Snapshot).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human-readable coverage report: one line per
+// domain with an ASCII bar, then the uncovered items of each domain by
+// source location, then the statically excluded leaves.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	fmt.Fprintf(bw, "model coverage: %s (fingerprint %s)\n", r.Model, r.Fingerprint)
+	tw := tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+	for _, d := range r.Domains {
+		fmt.Fprintf(tw, "  %s\t%d/%d\t%5.1f%%\t%s\n", d.Name, d.Covered, d.Total, 100*d.Share, bar(d.Share, 30))
+	}
+	tw.Flush()
+
+	for _, d := range r.Domains {
+		if len(d.Uncovered) == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "\nuncovered %s (%d):\n", d.Name, len(d.Uncovered))
+		tw = tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+		for _, it := range d.Uncovered {
+			fmt.Fprintf(tw, "  %s\t%s\n", it.Name, it.Pos)
+		}
+		tw.Flush()
+	}
+
+	if len(r.Excluded) > 0 {
+		fmt.Fprintf(bw, "\nstatically unreachable leaves (excluded from totals):\n")
+		tw = tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+		for _, u := range r.Excluded {
+			fmt.Fprintf(tw, "  %s\tshadowed by %s in %s\t%s\n", u.Op, u.ShadowedBy, u.Group, u.Pos)
+		}
+		tw.Flush()
+	}
+	return bw.err
+}
+
+// DiffEntry is one item covered on exactly one side of a diff.
+type DiffEntry struct {
+	Domain string `json:"domain"`
+	Item   Item   `json:"item"`
+	Side   string `json:"side"` // "a" | "b"
+}
+
+// Diff lists the items covered by exactly one of two snapshots over the
+// same map, in domain then enumeration order.
+func (cm *Map) Diff(a, b *Snapshot) ([]DiffEntry, error) {
+	if err := a.Compatible(cm); err != nil {
+		return nil, fmt.Errorf("first snapshot: %w", err)
+	}
+	if err := b.Compatible(cm); err != nil {
+		return nil, fmt.Errorf("second snapshot: %w", err)
+	}
+	var out []DiffEntry
+	for d := 0; d < NumDomains; d++ {
+		da, db := a.Domain(DomainNames[d]), b.Domain(DomainNames[d])
+		if da == nil || db == nil {
+			return nil, fmt.Errorf("cover: snapshot is missing domain %q", DomainNames[d])
+		}
+		for i, it := range cm.Items[d] {
+			ia, ib := da.Bits.Get(i), db.Bits.Get(i)
+			if ia == ib {
+				continue
+			}
+			side := "a"
+			if ib {
+				side = "b"
+			}
+			out = append(out, DiffEntry{Domain: DomainNames[d], Item: it, Side: side})
+		}
+	}
+	return out, nil
+}
+
+// WriteDiffText renders a diff listing, "only in a" then "only in b"
+// per domain.
+func WriteDiffText(w io.Writer, diff []DiffEntry) error {
+	bw := &errWriter{w: w}
+	if len(diff) == 0 {
+		fmt.Fprintln(bw, "coverage identical")
+		return bw.err
+	}
+	tw := tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+	for _, e := range diff {
+		mark := "-" // only in a
+		if e.Side == "b" {
+			mark = "+"
+		}
+		fmt.Fprintf(tw, "%s %s\t%s\t%s\n", mark, e.Domain, e.Item.Name, e.Item.Pos)
+	}
+	tw.Flush()
+	return bw.err
+}
+
+// bar renders a proportional ASCII bar of at most width cells.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// errWriter latches the first write error so report writers can check once.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}

@@ -1,0 +1,131 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DomainSnap is the coverage state of one domain in a snapshot.
+type DomainSnap struct {
+	Name    string `json:"name"`
+	Total   int    `json:"total"`
+	Covered int    `json:"covered"`
+	Bits    Bitset `json:"bits"`
+}
+
+// Snapshot is the serializable coverage state of one run (or a merge of
+// many): one bitset per domain plus the map fingerprint that pins which
+// enumeration the bits index into. Report files are a strict superset
+// of this shape, so a written report loads back as a Snapshot and can
+// itself be merged or diffed.
+type Snapshot struct {
+	Model       string       `json:"model"`
+	Fingerprint string       `json:"fingerprint"`
+	Domains     []DomainSnap `json:"domains"`
+}
+
+// FingerprintString renders a map fingerprint the way snapshots store it.
+func FingerprintString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// Compatible reports whether s indexes the same enumeration as the map.
+func (s *Snapshot) Compatible(cm *Map) error {
+	if s.Model != cm.Model {
+		return fmt.Errorf("cover: snapshot is for model %q, map for %q", s.Model, cm.Model)
+	}
+	if s.Fingerprint != FingerprintString(cm.Fingerprint) {
+		return fmt.Errorf("cover: snapshot fingerprint %s does not match model enumeration %s (model changed?)",
+			s.Fingerprint, FingerprintString(cm.Fingerprint))
+	}
+	return nil
+}
+
+// Merge unions o into s in place. Both snapshots must carry the same
+// model and fingerprint and congruent domains.
+func (s *Snapshot) Merge(o *Snapshot) error {
+	if o == nil {
+		return nil
+	}
+	if s.Model != o.Model || s.Fingerprint != o.Fingerprint {
+		return fmt.Errorf("cover: cannot merge snapshot of %s/%s into %s/%s",
+			o.Model, o.Fingerprint, s.Model, s.Fingerprint)
+	}
+	if len(s.Domains) != len(o.Domains) {
+		return fmt.Errorf("cover: domain count mismatch (%d vs %d)", len(s.Domains), len(o.Domains))
+	}
+	for i := range s.Domains {
+		d, od := &s.Domains[i], &o.Domains[i]
+		if d.Name != od.Name || d.Total != od.Total || len(d.Bits) != len(od.Bits) {
+			return fmt.Errorf("cover: domain %q does not line up with %q", d.Name, od.Name)
+		}
+		d.Bits.Or(od.Bits)
+		d.Covered = d.Bits.Count()
+	}
+	return nil
+}
+
+// Equal reports bit-for-bit identical coverage.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Model != o.Model || s.Fingerprint != o.Fingerprint || len(s.Domains) != len(o.Domains) {
+		return false
+	}
+	for i := range s.Domains {
+		if s.Domains[i].Name != o.Domains[i].Name || !s.Domains[i].Bits.Equal(o.Domains[i].Bits) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent deep copy (nil-safe).
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Domains = make([]DomainSnap, len(s.Domains))
+	for i, d := range s.Domains {
+		c.Domains[i] = d
+		c.Domains[i].Bits = d.Bits.Clone()
+	}
+	return &c
+}
+
+// Domain returns the named domain snap, or nil.
+func (s *Snapshot) Domain(name string) *DomainSnap {
+	for i := range s.Domains {
+		if s.Domains[i].Name == name {
+			return &s.Domains[i]
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot (or a report, which is a superset) from r.
+func Load(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("cover: %v", err)
+	}
+	if s.Fingerprint == "" || len(s.Domains) == 0 {
+		return nil, fmt.Errorf("cover: not a coverage snapshot (missing fingerprint or domains)")
+	}
+	for i := range s.Domains {
+		d := &s.Domains[i]
+		if len(d.Bits) != (d.Total+63)/64 {
+			return nil, fmt.Errorf("cover: domain %q has %d bitset words for %d items", d.Name, len(d.Bits), d.Total)
+		}
+		d.Covered = d.Bits.Count()
+	}
+	return &s, nil
+}
+
+// Write emits the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -22,6 +22,7 @@ import (
 
 	"golisa/internal/analyze"
 	"golisa/internal/ast"
+	"golisa/internal/cover"
 	"golisa/internal/fleet"
 	"golisa/internal/model"
 	"golisa/internal/profile"
@@ -44,6 +45,9 @@ type Options struct {
 	// Recorder, when the simulation is being recorded, enables the
 	// time-travel endpoints /rstep, /goto and /rcontinue.
 	Recorder *replay.Recorder
+	// Cover backs GET /coverage (model-coverage report of the live
+	// simulation).
+	Cover *cover.Collector
 	// Batch backs POST /batch and POST /batch/stream: a manifest of jobs
 	// run over one shared compiled-model artifact (internal/fleet),
 	// independent of the live simulation.
@@ -124,6 +128,7 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/flight", srv.handleFlight)
 	srv.mux.HandleFunc("/profile", srv.handleProfile)
 	srv.mux.HandleFunc("/analyze", srv.handleAnalyze)
+	srv.mux.HandleFunc("/coverage", srv.handleCoverage)
 	srv.mux.HandleFunc("/mem", srv.handleMem)
 	srv.mux.HandleFunc("/pause", srv.handlePause)
 	srv.mux.HandleFunc("/resume", srv.handleResume)
@@ -150,6 +155,7 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/flight">/flight</a> — flight-recorder ring</li>
 <li><a href="/profile">/profile</a> — pprof profile (go tool pprof http://HOST/profile)</li>
 <li><a href="/analyze">/analyze</a> — hazard attribution report (?format=json|text|html)</li>
+<li><a href="/coverage">/coverage</a> — model-coverage report (?format=json|text|html)</li>
 <li>/mem?name=MEM&amp;addr=A&amp;n=N — memory window</li>
 <li>/pause /resume /step?n=N — run control</li>
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
@@ -242,6 +248,50 @@ func (srv *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprint(w, buf.String())
+}
+
+// handleCoverage serves the live simulation's model-coverage report.
+// Hardened per the batch-endpoint conventions: GET-only with Allow on
+// 405 and JSON error bodies, since it is primarily machine-read.
+func (srv *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	if srv.opts.Cover == nil {
+		jsonError(w, http.StatusNotFound, "no coverage collector attached (run with -cov)")
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		jsonError(w, http.StatusMethodNotAllowed, "coverage is read-only, use GET")
+		return
+	}
+	// Snapshot on the simulation goroutine, resolve and render off it.
+	var snap *cover.Snapshot
+	srv.ctrl.Do(func() { snap = srv.opts.Cover.Snapshot() })
+	rep, err := srv.opts.Cover.Map().Resolve(snap)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var buf strings.Builder
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = rep.WriteJSON(&buf)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = rep.WriteText(&buf)
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		err = rep.WriteHTML(&buf)
+	default:
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json, text or html)", format))
+		return
+	}
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	fmt.Fprint(w, buf.String())

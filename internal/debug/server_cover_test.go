@@ -1,0 +1,142 @@
+package debug_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/cover"
+	"golisa/internal/debug"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// newCoverHarness runs the countdown kernel to completion under a server
+// with a coverage collector attached, the way lisa-sim -http -cov does.
+func newCoverHarness(t *testing.T) *harness {
+	t.Helper()
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := m.AssembleAndLoad(countdown, sim.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := cover.NewCollector(cover.NewMap(m.Model))
+	s.OnDecoded = col.MarkDecoded
+	srv := debug.NewServer(s, debug.Options{Cover: col})
+	s.SetObserver(trace.Fanout(col, srv.Attach()))
+
+	h := &harness{ts: httptest.NewServer(srv.Handler()), done: make(chan error, 1)}
+	t.Cleanup(h.ts.Close)
+	go func() {
+		_, err := s.Run(50_000)
+		srv.Finish()
+		h.done <- err
+	}()
+	if err := <-h.done; err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	h := newCoverHarness(t)
+
+	// Default and explicit JSON: a resolvable report that loads back as a
+	// mergeable snapshot.
+	body := h.get(t, "/coverage")
+	var rep struct {
+		Model       string `json:"model"`
+		Fingerprint string `json:"fingerprint"`
+		Domains     []struct {
+			Name    string `json:"name"`
+			Total   int    `json:"total"`
+			Covered int    `json:"covered"`
+		} `json:"domains"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("GET /coverage: %v\n%s", err, body)
+	}
+	if rep.Model != "simple16" || rep.Fingerprint == "" || len(rep.Domains) != cover.NumDomains {
+		t.Fatalf("report header: %+v", rep)
+	}
+	for _, d := range rep.Domains {
+		if d.Name == "ops" && d.Covered == 0 {
+			t.Error("countdown run covered no ops")
+		}
+	}
+	if _, err := cover.Load(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("endpoint JSON does not load as a snapshot: %v", err)
+	}
+
+	text := string(h.get(t, "/coverage?format=text"))
+	if !strings.Contains(text, "ops") || !strings.Contains(text, "uncovered") {
+		t.Errorf("text format: %q", text)
+	}
+	html := string(h.get(t, "/coverage?format=html"))
+	if !strings.Contains(html, "<html") {
+		t.Errorf("html format: %q", html)
+	}
+
+	// Unknown format: JSON error body.
+	resp, err := http.Get(h.ts.URL + "/coverage?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusBadRequest)
+
+	// Non-GET: 405 with Allow, still a JSON body.
+	resp, err = http.Post(h.ts.URL+"/coverage", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", got)
+	}
+	checkJSONError(t, resp, http.StatusMethodNotAllowed)
+}
+
+// TestCoverageEndpointDetached: without a collector the route 404s with a
+// JSON error pointing at the flag.
+func TestCoverageEndpointDetached(t *testing.T) {
+	h := newHarness(t)
+	defer func() {
+		h.get(t, "/resume")
+		<-h.done
+	}()
+	resp, err := http.Get(h.ts.URL + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := checkJSONError(t, resp, http.StatusNotFound)
+	if !strings.Contains(body, "-cov") {
+		t.Errorf("error body should point at the flag: %q", body)
+	}
+}
+
+// checkJSONError asserts status and a {"error": ...} JSON body, returning
+// the body text.
+func checkJSONError(t *testing.T, resp *http.Response, code int) string {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != code {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("body is not a JSON error: %s", body)
+	}
+	return e.Error
+}

@@ -19,6 +19,7 @@ import (
 	"golisa/internal/analyze"
 	"golisa/internal/asm"
 	"golisa/internal/core"
+	"golisa/internal/cover"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -45,6 +46,9 @@ type Result struct {
 	Prints  []string          `json:"prints,omitempty"`
 	Penalty map[string]uint64 `json:"penalty,omitempty"` // per-cause penalty cycles (Options.Analyze)
 
+	// Coverage is the job's model-coverage snapshot (Options.Cover).
+	Coverage *cover.Snapshot `json:"coverage,omitempty"`
+
 	// Lifecycle timing, always populated: the worker-pool index that ran
 	// the job, how long it waited in the run queue, and how long it ran.
 	Worker    int           `json:"worker"`
@@ -67,6 +71,10 @@ type Options struct {
 	// Analyze attaches a hazard analyzer to every job and aggregates
 	// per-cause penalty cycles into the results and the summary.
 	Analyze bool
+	// Cover attaches a model-coverage collector to every job and unions
+	// the per-job snapshots into the summary. The domain enumeration is
+	// built once per batch and shared (read-only) by every worker.
+	Cover bool
 	// MaxPrints caps each job's captured print lines so a print-looping
 	// program cannot exhaust the host's memory: 0 means DefaultMaxPrints,
 	// negative means unlimited. Jobs that hit the cap keep their first
@@ -107,6 +115,10 @@ type Summary struct {
 	// Penalty aggregates per-cause penalty cycles over all analyzed jobs
 	// (Options.Analyze).
 	Penalty map[string]uint64 `json:"penalty,omitempty"`
+
+	// Coverage is the union of every job's coverage snapshot
+	// (Options.Cover).
+	Coverage *cover.Snapshot `json:"coverage,omitempty"`
 
 	// Latency summarizes the per-job lifecycle spans.
 	Latency Latency `json:"latency"`
@@ -193,6 +205,13 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	}
 	em.phase("prewarm", prewarmFrom, time.Since(batchStart))
 
+	// The coverage enumeration is deterministic per model, so one map
+	// serves every worker read-only and all snapshots stay mergeable.
+	var covMap *cover.Map
+	if opt.Cover {
+		covMap = cover.NewMap(mc.Model)
+	}
+
 	defMax := opt.MaxSteps
 	if defMax == 0 {
 		defMax = DefaultMaxSteps
@@ -232,7 +251,7 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 					if max == 0 {
 						max = defMax
 					}
-					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, &res)
+					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, covMap, &res)
 				}
 				finishedAt := time.Since(batchStart)
 				res.QueuedFor = startedAt - queuedAt
@@ -280,6 +299,16 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 			}
 			sum.Penalty[cause] += n
 		}
+		if r.Coverage != nil {
+			if sum.Coverage == nil {
+				sum.Coverage = r.Coverage.Clone()
+			} else if err := sum.Coverage.Merge(r.Coverage); err != nil {
+				// Snapshots of one batch share one map; a mismatch here
+				// is a bug, surfaced on the job rather than dropped.
+				r.Err = err.Error()
+				sum.Failed++
+			}
+		}
 		hist.Observe(uint64(r.RunFor))
 		busy += r.RunFor
 	}
@@ -311,7 +340,7 @@ func jobLabel(i int, j Job) string {
 // analyzing) observer. maxPrints > 0 caps the captured print lines
 // (negative = unlimited) so a print-looping program cannot exhaust the
 // host's memory.
-func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, maxPrints int, doAnalyze bool, res *Result) {
+func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, maxPrints int, doAnalyze bool, covMap *cover.Map, res *Result) {
 	s := sim.NewFromArtifact(art)
 	if err := s.Reset(); err != nil {
 		res.Err = err.Error()
@@ -329,9 +358,19 @@ func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, ma
 		res.Prints = append(res.Prints, msg)
 	}
 	var an *analyze.Analyzer
+	var obs []trace.Observer
 	if doAnalyze {
 		an = analyze.New()
-		s.SetObserver(an)
+		obs = append(obs, an)
+	}
+	var col *cover.Collector
+	if covMap != nil {
+		col = cover.NewCollector(covMap)
+		s.OnDecoded = col.MarkDecoded
+		obs = append(obs, col)
+	}
+	if len(obs) > 0 {
+		s.SetObserver(trace.Fanout(obs...))
 	}
 	n, err := s.Run(maxSteps)
 	res.Steps = n
@@ -347,6 +386,9 @@ func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, ma
 				res.Penalty[c.String()] = p
 			}
 		}
+	}
+	if col != nil {
+		res.Coverage = col.Snapshot()
 	}
 }
 

@@ -21,6 +21,7 @@ type Manifest struct {
 	Workers   int    `json:"workers,omitempty"` // 0 = GOMAXPROCS
 	Max       uint64 `json:"max,omitempty"`     // default per-job step cap
 	Analyze   bool   `json:"analyze,omitempty"`
+	Cover     bool   `json:"cover,omitempty"`      // collect model coverage per job, union into the summary
 	MaxPrints int    `json:"max_prints,omitempty"` // per-job print-line cap (0 = default, <0 unlimited)
 	Jobs      []Job  `json:"jobs"`
 }
@@ -159,6 +160,7 @@ func (sv *Service) RunWith(man *Manifest, tele Telemetry) (*Summary, error) {
 		Workers:   man.Workers,
 		MaxSteps:  man.Max,
 		Analyze:   man.Analyze,
+		Cover:     man.Cover,
 		MaxPrints: man.MaxPrints,
 		Telemetry: TeleFanout(sv.Telemetry, tele),
 	}

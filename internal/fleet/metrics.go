@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"golisa/internal/cover"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the exposed job
@@ -47,6 +49,12 @@ type Metrics struct {
 
 	// Per-cause penalty cycles over analyzed jobs.
 	penalty map[string]uint64
+
+	// Union of every covered batch's coverage snapshot (batches run with
+	// Options.Cover). Nil until the first covered batch; a snapshot with
+	// a different fingerprint (model changed under the server) resets
+	// the union rather than corrupting it.
+	cov *cover.Snapshot
 }
 
 // NewMetrics creates an empty fleet metrics collector.
@@ -110,6 +118,11 @@ func (m *Metrics) OnBatchEnd(sum *Summary) {
 	for cause, n := range sum.Penalty {
 		m.penalty[cause] += n
 	}
+	if sum.Coverage != nil {
+		if m.cov == nil || m.cov.Merge(sum.Coverage) != nil {
+			m.cov = sum.Coverage.Clone()
+		}
+	}
 }
 
 // WriteText emits the collector's state in Prometheus text exposition
@@ -162,6 +175,19 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	sort.Strings(causes)
 	for _, c := range causes {
 		p("lisa_fleet_penalty_cycles_total{cause=\"%s\"} %d\n", promLabelEscape(c), m.penalty[c])
+	}
+
+	// Coverage gauges appear only once a covered batch ran, so batches
+	// without Options.Cover keep the exposition byte-identical to PR 6.
+	if m.cov != nil {
+		head("lisa_cover_items", "Coverable model items per domain (unreachable leaves excluded).", "gauge")
+		for _, d := range m.cov.Domains {
+			p("lisa_cover_items{domain=\"%s\"} %d\n", promLabelEscape(d.Name), d.Total)
+		}
+		head("lisa_cover_covered", "Model items covered so far per domain, unioned over covered batches.", "gauge")
+		for _, d := range m.cov.Domains {
+			p("lisa_cover_covered{domain=\"%s\"} %d\n", promLabelEscape(d.Name), d.Covered)
+		}
 	}
 	return ew.err
 }

@@ -1,0 +1,83 @@
+package replay_test
+
+import (
+	"bytes"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/cover"
+	"golisa/internal/replay"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// TestReplayCoverageMatchesLive is the coverage/replay acceptance check:
+// for every stock model, measuring coverage during a verified replay
+// yields a snapshot byte-identical to the one collected on the live run.
+// The live collector rides the recorder's fanout; the replay collector
+// rides the verifier's, so its events are exactly the proven ones.
+func TestReplayCoverageMatchesLive(t *testing.T) {
+	for _, c := range recCases() {
+		c := c
+		t.Run(c.model, func(t *testing.T) {
+			// Live run: record and collect at the same time.
+			mach, err := core.LoadBuiltin(c.model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, _, err := mach.AssembleAndLoad(c.kernel, sim.Compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.seed != nil {
+				c.seed(t, s)
+			}
+			var rec bytes.Buffer
+			r := replay.NewRecorder(s, mach.Source, &rec, replay.Options{Every: 16})
+			live := cover.NewCollector(cover.NewMap(mach.Model))
+			s.OnDecoded = live.MarkDecoded
+			s.SetObserver(trace.Fanout(r, live))
+			for !s.Halted() && s.Step() < 2000 {
+				if err := s.RunStep(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !s.Halted() {
+				t.Fatal("live run did not halt")
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			var liveJSON bytes.Buffer
+			if err := live.Snapshot().Write(&liveJSON); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay: collector fans with the verifier over the recording.
+			parsed, err := replay.Parse(rec.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := replay.NewReplayer(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := cover.NewCollector(cover.NewMap(rp.Sim.M))
+			rp.Sim.OnDecoded = col.MarkDecoded
+			rp.SetExtra(trace.Observer(col))
+			if _, err := rp.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			var replayJSON bytes.Buffer
+			if err := col.Snapshot().Write(&replayJSON); err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(liveJSON.Bytes(), replayJSON.Bytes()) {
+				t.Fatalf("replayed coverage differs from live:\nlive:\n%s\nreplay:\n%s",
+					liveJSON.Bytes(), replayJSON.Bytes())
+			}
+		})
+	}
+}

@@ -113,6 +113,13 @@ type Simulator struct {
 	OnPrint func(string)
 	// OnStep runs after every completed control step (tracing hook).
 	OnStep func(step uint64)
+	// OnDecoded, when non-nil, receives the bound instance every coding-root
+	// decode produced (cache hits included) — the decode-side seam the
+	// coverage collector uses to see which coding-tree leaves a word
+	// selected, information the string-typed OnDecode event cannot carry.
+	// Implementations must not mutate the instance. A simulation without
+	// the hook pays one nil check per decode.
+	OnDecoded func(in *model.Instance)
 	// Gate, when non-nil, is invoked at the top of every control step,
 	// before any event of that step is emitted, and may block — it is the
 	// run-control seam debuggers use to pause, single-step and break a
@@ -518,12 +525,18 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 			if s.obs != nil {
 				s.obs.OnDecode(op.Name, word.Uint(), true)
 			}
+			if s.OnDecoded != nil {
+				s.OnDecoded(in)
+			}
 			return in, nil
 		}
 		if in, ok := s.decodeCache[key]; ok {
 			s.prof.DecodeHits++
 			if s.obs != nil {
 				s.obs.OnDecode(op.Name, word.Uint(), true)
+			}
+			if s.OnDecoded != nil {
+				s.OnDecoded(in)
 			}
 			return in, nil
 		}
@@ -535,6 +548,9 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 		if s.obs != nil {
 			s.obs.OnDecode(op.Name, word.Uint(), false)
 		}
+		if s.OnDecoded != nil {
+			s.OnDecoded(in)
+		}
 		s.decodeCache[key] = in
 		return in, nil
 	}
@@ -542,7 +558,14 @@ func (s *Simulator) decodeRoot(op *model.Operation) (*model.Instance, error) {
 	if s.obs != nil {
 		s.obs.OnDecode(op.Name, word.Uint(), false)
 	}
-	return s.dec.DecodeRoot(op, word)
+	in, err := s.dec.DecodeRoot(op, word)
+	if err != nil {
+		return nil, err
+	}
+	if s.OnDecoded != nil {
+		s.OnDecoded(in)
+	}
+	return in, nil
 }
 
 // --- activation processing -----------------------------------------------------
@@ -555,7 +578,7 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 			if err != nil {
 				return err
 			}
-			s.activate(target, it.Delay, ctx)
+			s.activate(in, target, it.Delay, ctx)
 		case *ast.ActPipeOp:
 			pd := s.M.Pipeline(it.Pipe)
 			p := s.pipeFor[pd]
@@ -681,11 +704,12 @@ func (s *Simulator) resolveActTarget(in *model.Instance, name string) (*model.In
 // at stage 0 of the target's pipeline in the current step; cross-pipeline
 // activations latch into stage 0 of the other pipeline for the next step.
 // extra adds whole control steps (the ';' delayed-activation operator).
-func (s *Simulator) activate(target *model.Instance, extra int, ctx runItem) {
+// src is the activator whose ACTIVATION section requested the edge.
+func (s *Simulator) activate(src, target *model.Instance, extra int, ctx runItem) {
 	s.prof.Activations++
 	top := target.Op
 	if s.obs != nil {
-		s.obs.OnActivate(top.Name, uint64(extra))
+		trace.EmitActivate(s.obs, src.Op.Name, top.Name, uint64(extra))
 	}
 	if !top.HasStage() {
 		// Unassigned target: same control step (plus explicit delay).

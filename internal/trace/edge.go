@@ -1,0 +1,36 @@
+package trace
+
+// EdgeObserver is the optional activation-edge-aware extension of
+// Observer. Implementations receive OnActivateEdge INSTEAD of the plain
+// OnActivate when events are delivered through EmitActivate, so an
+// edge-aware observer must do its legacy bookkeeping inside
+// OnActivateEdge (typically by calling its own OnActivate). Nop
+// deliberately does not implement this interface: observers embedding
+// Nop keep receiving the plain callback unless they opt in themselves.
+type EdgeObserver interface {
+	// OnActivateEdge reports a scheduled activation as a directed edge:
+	// source is the operation whose ACTIVATION section requested it,
+	// target the operation being scheduled, delay the extra delay.
+	OnActivateEdge(source, target string, delay uint64)
+}
+
+// EmitActivate delivers an activation event to o: edge-aware observers
+// get the (source, target) pair, legacy observers the classic target.
+// This is the compatibility shim every edge-annotated emitter goes
+// through; the .lrec recorder stays a legacy observer, so the recording
+// wire format is unchanged by edge attribution.
+func EmitActivate(o Observer, source, target string, delay uint64) {
+	if e, ok := o.(EdgeObserver); ok {
+		e.OnActivateEdge(source, target, delay)
+		return
+	}
+	o.OnActivate(target, delay)
+}
+
+// OnActivateEdge implements EdgeObserver: the fanout re-dispatches
+// through the shim so each member gets the richest form it understands.
+func (m Multi) OnActivateEdge(source, target string, delay uint64) {
+	for _, o := range m {
+		EmitActivate(o, source, target, delay)
+	}
+}

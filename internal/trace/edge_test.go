@@ -1,0 +1,74 @@
+package trace
+
+import "testing"
+
+// legacyAct records only the base-interface activation events, like the
+// recorder and verifier do.
+type legacyAct struct {
+	Nop
+	got []string
+}
+
+func (l *legacyAct) OnActivate(target string, delay uint64) {
+	l.got = append(l.got, target)
+}
+
+// edgeAct additionally understands source-qualified edges.
+type edgeAct struct {
+	Nop
+	legacy []string
+	edges  [][2]string
+}
+
+func (e *edgeAct) OnActivate(target string, delay uint64) {
+	e.legacy = append(e.legacy, target)
+}
+
+func (e *edgeAct) OnActivateEdge(source, target string, delay uint64) {
+	e.edges = append(e.edges, [2]string{source, target})
+}
+
+// TestEmitActivateShim: edge-aware observers get the source-qualified
+// event, legacy observers fall back to plain OnActivate, and the fallback
+// keeps the .lrec wire format stable (the recorder never sees edges).
+func TestEmitActivateShim(t *testing.T) {
+	leg := &legacyAct{}
+	EmitActivate(leg, "decode", "add", 2)
+	if len(leg.got) != 1 || leg.got[0] != "add" {
+		t.Fatalf("legacy observer got %v, want [add]", leg.got)
+	}
+
+	ea := &edgeAct{}
+	EmitActivate(ea, "decode", "add", 2)
+	if len(ea.edges) != 1 || ea.edges[0] != [2]string{"decode", "add"} {
+		t.Fatalf("edge observer got edges %v", ea.edges)
+	}
+	if len(ea.legacy) != 0 {
+		t.Fatalf("edge observer also got the legacy event: %v", ea.legacy)
+	}
+}
+
+// TestMultiRedispatchesEdges: a fanout delivers the richest form each
+// member understands, even when the fanout itself receives an edge event.
+func TestMultiRedispatchesEdges(t *testing.T) {
+	leg := &legacyAct{}
+	ea := &edgeAct{}
+	m := Fanout(leg, ea)
+	EmitActivate(m, "decode", "mac", 0)
+	if len(leg.got) != 1 || leg.got[0] != "mac" {
+		t.Fatalf("legacy member got %v", leg.got)
+	}
+	if len(ea.edges) != 1 || ea.edges[0] != [2]string{"decode", "mac"} {
+		t.Fatalf("edge member got %v", ea.edges)
+	}
+}
+
+// TestNopIsNotEdgeObserver: Nop deliberately leaves the extension
+// unimplemented so embedding it never swallows edge events silently —
+// embedders opt in by defining OnActivateEdge themselves.
+func TestNopIsNotEdgeObserver(t *testing.T) {
+	var o Observer = Nop{}
+	if _, ok := o.(EdgeObserver); ok {
+		t.Fatal("Nop implements EdgeObserver; embedders would silently drop edges")
+	}
+}
