@@ -19,7 +19,9 @@ import (
 func main() {
 	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
 	listing := flag.Bool("listing", false, "print an address/word/disassembly listing")
+	cli.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.HandleVersion()
 	if flag.NArg() != 1 {
 		cli.Usage("-model <name|file.lisa> prog.s")
 	}

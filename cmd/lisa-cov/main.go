@@ -43,6 +43,7 @@ func main() {
 	assertFull := flag.String("assert-full", "", "exit 1 unless this domain (leaves, ops, edges or causes) reaches 100% coverage")
 	quiet := flag.Bool("quiet", false, "suppress the terminal report (useful with -json/-html/-assert-full)")
 	flag.Parse()
+	cli.HandleVersion()
 
 	switch {
 	case *mergeOut != "":

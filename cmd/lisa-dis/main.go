@@ -20,7 +20,9 @@ import (
 
 func main() {
 	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	cli.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.HandleVersion()
 	m := cli.LoadModel(*modelName)
 	d, err := m.NewDisassembler()
 	cli.Fail(err)

@@ -12,13 +12,16 @@ import (
 	"fmt"
 	"os"
 
+	"golisa/internal/cli"
 	"golisa/internal/core"
 	"golisa/internal/docgen"
 )
 
 func main() {
 	modelName := flag.String("model", "simple16", "builtin model name or path to a .lisa file")
+	cli.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.HandleVersion()
 	m := loadModel(*modelName)
 	fmt.Print(docgen.Generate(m.Model))
 }

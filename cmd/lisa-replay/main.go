@@ -38,7 +38,9 @@ func main() {
 	diffPath := flag.String("diff", "", "compare against this second .lrec recording and report the first divergence")
 	events := flag.String("events", "", "dump the recorded events of a cycle range lo:hi (half-open)")
 	window := flag.Uint64("window", 8, "with -diff: cycles of pre-divergence context to dump from each recording")
+	cli.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.HandleVersion()
 	if flag.NArg() != 1 {
 		cli.Usage("[-goto N] [-verify] [-diff other.lrec] [-events lo:hi] recording.lrec")
 	}

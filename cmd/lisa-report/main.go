@@ -35,6 +35,7 @@ func main() {
 	replayIn := flag.String("replay", "", "attribute this .lrec recording (verified re-execution) instead of running a program")
 	quiet := flag.Bool("quiet", false, "suppress the terminal report (useful with -json/-html)")
 	flag.Parse()
+	cli.HandleVersion()
 
 	a := analyze.New()
 	switch {

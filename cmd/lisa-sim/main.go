@@ -41,6 +41,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"golisa/internal/cli"
 	"golisa/internal/trace"
@@ -59,11 +60,14 @@ func main() {
 	vcdOut := flag.String("vcd", "", "write a VCD waveform trace to this file")
 	dumpRegs := flag.String("regs", "", "comma-separated register files to dump after the run (e.g. A,B)")
 	flag.Parse()
+	cli.HandleVersion()
 	if batch.Jobs != "" {
 		if flag.NArg() != 0 {
 			cli.Usage("[-model m] [-mode m] -jobs <dir|manifest.json> [-workers n] [-batch-json out.json]")
 		}
 		m, mode := common.Load()
+		batch.Perf = obs.Perf
+		batch.PerfLedger = obs.PerfLedger
 		cli.Fail(batch.Run(m, mode, common.Max))
 		return
 	}
@@ -101,11 +105,13 @@ func main() {
 	}
 
 	var n uint64
+	runStart := time.Now()
 	err = sess.Protect(func() error {
 		var rerr error
 		n, rerr = s.Run(common.Max)
 		return rerr
 	})
+	runElapsed := time.Since(runStart)
 	sess.DumpFlightOnError(err)
 	cli.Fail(err)
 	p := s.Profile()
@@ -125,6 +131,11 @@ func main() {
 	}
 
 	if chrome != nil {
+		if sess.Analyzer != nil {
+			// Overlay the analyzer's occupancy/stall timelines as counter
+			// tracks so curves and spans share one trace-viewer view.
+			sess.Analyzer.Report().EmitChromeCounters(chrome)
+		}
 		f, err := os.Create(*traceOut)
 		cli.Fail(err)
 		cli.Fail(chrome.WriteJSON(f))
@@ -157,6 +168,7 @@ func main() {
 		}
 	}
 
+	sess.WritePerf(n, runElapsed)
 	sess.Close()
 	sess.Wait()
 }

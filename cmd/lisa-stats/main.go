@@ -36,7 +36,9 @@ type statsOut struct {
 func main() {
 	modelName := flag.String("model", "", "builtin model name (simple16, c62x, simd16)")
 	asJSON := flag.Bool("json", false, "emit the statistics as JSON")
+	cli.AddVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.HandleVersion()
 
 	machines := map[string]*core.Machine{}
 	switch {

@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"golisa/internal/cli"
 	"golisa/internal/trace"
@@ -41,6 +42,7 @@ func main() {
 	outBase := flag.String("o", "", "output base name (default: program name without extension)")
 	withVCD := flag.Bool("vcd", false, "also write <base>.vcd")
 	flag.Parse()
+	cli.HandleVersion()
 	if flag.NArg() != 1 {
 		cli.Usage("[-model m] [-mode m] [-o base] prog.s")
 	}
@@ -71,7 +73,9 @@ func main() {
 		s.OnStep = func(step uint64) { w.Step(step) }
 	}
 
+	runStart := time.Now()
 	n, err := s.Run(common.Max)
+	runElapsed := time.Since(runStart)
 	sess.DumpFlightOnError(err)
 	cli.Fail(err)
 
@@ -81,6 +85,11 @@ func main() {
 		cli.Fail(emit(f))
 		cli.Fail(f.Close())
 		fmt.Printf("; wrote %s\n", name)
+	}
+	if sess.Analyzer != nil {
+		// Overlay the analyzer's occupancy/stall timelines as counter
+		// tracks so curves and spans share one trace-viewer view.
+		sess.Analyzer.Report().EmitChromeCounters(chrome)
 	}
 	write(base+".trace.json", chrome.WriteJSON)
 	write(base+".metrics.txt", metrics.WriteText)
@@ -93,6 +102,7 @@ func main() {
 	fmt.Printf("; %d decodes (%d cached), %d activations, %d stalls, %d flushes, %d retired\n",
 		p.Decodes, p.DecodeHits, p.Activations, p.Stalls, p.Flushes, p.Retired)
 
+	sess.WritePerf(n, runElapsed)
 	sess.Close()
 	sess.Wait()
 }

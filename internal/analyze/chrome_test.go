@@ -1,0 +1,81 @@
+package analyze_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"golisa/internal/analyze"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// TestEmitChromeCounters checks the counter export: one "ph":"C" sample
+// per timeline bucket, carrying both series, timestamped at the bucket's
+// starting step.
+func TestEmitChromeCounters(t *testing.T) {
+	rep := &analyze.Report{Timelines: []analyze.TimelineReport{
+		{Pipe: "pipe", Stages: 4, StepsPerBucket: 8,
+			Occupied: []uint64{3, 7, 0}, Stalled: []uint64{0, 2, 1}},
+		{Pipe: "vec", Stages: 2, StepsPerBucket: 8,
+			Occupied: []uint64{1}, Stalled: []uint64{0}},
+	}}
+	c := trace.NewChromeTracer()
+	rep.EmitChromeCounters(c)
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string             `json:"name"`
+			Ph   string             `json:"ph"`
+			Ts   float64            `json:"ts"`
+			Args map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("emitted %d events, want 4 (3 pipe buckets + 1 vec)", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "C" {
+			t.Errorf("event %q has ph %q, want counter event C", ev.Name, ev.Ph)
+		}
+	}
+	// Second pipe bucket: ts = 1*StepsPerBucket, both series present.
+	ev := doc.TraceEvents[1]
+	if ev.Name != "pipe utilization" || ev.Ts != 8 {
+		t.Errorf("bucket 1 = %q at ts %v, want \"pipe utilization\" at 8", ev.Name, ev.Ts)
+	}
+	if ev.Args["occupied"] != 7 || ev.Args["stalled"] != 2 {
+		t.Errorf("bucket 1 args = %v, want occupied=7 stalled=2", ev.Args)
+	}
+	if doc.TraceEvents[3].Name != "vec utilization" {
+		t.Errorf("second timeline track = %q", doc.TraceEvents[3].Name)
+	}
+}
+
+// TestEmitChromeCountersLive drives a real simulation through the
+// analyzer and checks the exported counters cover the run.
+func TestEmitChromeCountersLive(t *testing.T) {
+	a := analyze.New()
+	runHazard(t, sim.Compiled, a)
+	rep := a.Report()
+	if len(rep.Timelines) == 0 {
+		t.Fatal("hazard16 run produced no timelines")
+	}
+	c := trace.NewChromeTracer()
+	before := c.Len()
+	rep.EmitChromeCounters(c)
+	want := 0
+	for _, tl := range rep.Timelines {
+		want += len(tl.Occupied)
+	}
+	if got := c.Len() - before; got != want {
+		t.Errorf("emitted %d counter events, want %d (one per bucket)", got, want)
+	}
+}

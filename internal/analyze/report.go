@@ -334,3 +334,20 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	}
 	return n, nil
 }
+
+// EmitChromeCounters exports the report's per-pipe occupancy/stall
+// timelines as Chrome counter events on c, so the utilization curves
+// line up with the exec spans in one trace-viewer view. Each pipe gets
+// one counter track ("<pipe> utilization") with an "occupied" and a
+// "stalled" series, sampled once per timeline bucket at the bucket's
+// starting step (1 control step = 1µs of trace time).
+func (r *Report) EmitChromeCounters(c *trace.ChromeTracer) {
+	for _, tl := range r.Timelines {
+		for i := range tl.Occupied {
+			c.AddCounter(tl.Pipe+" utilization", float64(uint64(i)*tl.StepsPerBucket), map[string]any{
+				"occupied": tl.Occupied[i],
+				"stalled":  tl.Stalled[i],
+			})
+		}
+	}
+}

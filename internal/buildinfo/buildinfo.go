@@ -1,0 +1,122 @@
+// Package buildinfo gathers the build and host provenance shared by the
+// lisa-* tools' -version output and the performance observatory's run
+// records: module version and VCS commit from the Go build info, the
+// target platform, and the host CPU. A ledger entry stamped with this
+// fingerprint stays attributable — you can always tell which build on
+// which machine produced a number.
+package buildinfo
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Info is the build/host fingerprint of the running process.
+type Info struct {
+	// Module and Version identify the build: the main module path and its
+	// version ("(devel)" for source builds).
+	Module  string `json:"module,omitempty"`
+	Version string `json:"version,omitempty"`
+	// Commit is the VCS revision the binary was built from, with Dirty
+	// set when the working tree had uncommitted changes.
+	Commit string `json:"commit,omitempty"`
+	Dirty  bool   `json:"dirty,omitempty"`
+
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// CPU is the host CPU model name (best effort; empty when the
+	// platform does not expose one).
+	CPU    string `json:"cpu,omitempty"`
+	NumCPU int    `json:"num_cpu"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the process's build/host fingerprint, computed once.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			CPU:       cpuModel(),
+			NumCPU:    runtime.NumCPU(),
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			cached.Module = bi.Main.Path
+			cached.Version = bi.Main.Version
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					cached.Commit = s.Value
+				case "vcs.modified":
+					cached.Dirty = s.Value == "true"
+				}
+			}
+		}
+	})
+	return cached
+}
+
+// cpuModel reads the host CPU model name from /proc/cpuinfo (Linux; the
+// common keys cover x86 and several ARM layouts). Other platforms get "".
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(k) {
+		case "model name", "Model", "Hardware":
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// String renders the one-line fingerprint the -version flag prints.
+func (i Info) String() string {
+	var sb strings.Builder
+	ver := i.Version
+	if ver == "" {
+		ver = "(unknown)"
+	}
+	fmt.Fprintf(&sb, "%s %s", ver, i.GoVersion)
+	if i.Commit != "" {
+		short := i.Commit
+		if len(short) > 12 {
+			short = short[:12]
+		}
+		fmt.Fprintf(&sb, " commit %s", short)
+		if i.Dirty {
+			sb.WriteString("+dirty")
+		}
+	}
+	fmt.Fprintf(&sb, " %s/%s", i.OS, i.Arch)
+	if i.CPU != "" {
+		fmt.Fprintf(&sb, ", %s", i.CPU)
+	}
+	fmt.Fprintf(&sb, ", %d cpus", i.NumCPU)
+	return sb.String()
+}
+
+// HostLine is the short host description BENCH entries and run records
+// display: CPU model plus platform, e.g. "Intel(R) Xeon(R) ..., linux/amd64".
+func (i Info) HostLine() string {
+	if i.CPU == "" {
+		return fmt.Sprintf("%s/%s", i.OS, i.Arch)
+	}
+	return fmt.Sprintf("%s, %s/%s", i.CPU, i.OS, i.Arch)
+}

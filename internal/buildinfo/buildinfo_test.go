@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGetBasics(t *testing.T) {
+	i := Get()
+	if i.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", i.GoVersion, runtime.Version())
+	}
+	if i.OS != runtime.GOOS || i.Arch != runtime.GOARCH {
+		t.Errorf("platform = %s/%s, want %s/%s", i.OS, i.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if i.NumCPU < 1 {
+		t.Errorf("NumCPU = %d, want >= 1", i.NumCPU)
+	}
+	// Get is cached: a second call returns the identical value.
+	if j := Get(); j != i {
+		t.Errorf("Get not stable: %+v vs %+v", i, j)
+	}
+}
+
+func TestStringAndHostLine(t *testing.T) {
+	i := Info{Version: "v1.2.3", GoVersion: "go1.22", Commit: "abcdef0123456789", Dirty: true,
+		OS: "linux", Arch: "amd64", CPU: "TestCPU @ 1GHz", NumCPU: 4}
+	s := i.String()
+	for _, want := range []string{"v1.2.3", "go1.22", "commit abcdef012345+dirty", "linux/amd64", "TestCPU @ 1GHz", "4 cpus"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := i.HostLine(); got != "TestCPU @ 1GHz, linux/amd64" {
+		t.Errorf("HostLine() = %q", got)
+	}
+	// No CPU model: platform only, no stray comma.
+	i.CPU = ""
+	if got := i.HostLine(); got != "linux/amd64" {
+		t.Errorf("HostLine() without CPU = %q", got)
+	}
+}

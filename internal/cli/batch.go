@@ -10,6 +10,7 @@ import (
 
 	"golisa/internal/core"
 	"golisa/internal/fleet"
+	"golisa/internal/perf"
 	"golisa/internal/sim"
 )
 
@@ -26,6 +27,13 @@ type Batch struct {
 	Progress   bool
 	TraceOut   string
 	MetricsOut string
+
+	// Perf/PerfLedger are not flags of this group: lisa-sim copies them
+	// from the shared Obs -perf/-perf-ledger flags, so single-run and
+	// batch modes share one spelling. Perf emits ledger records into the
+	// summary; PerfLedger additionally appends them to a .lperf file.
+	Perf       bool
+	PerfLedger string
 }
 
 // Register defines the batch flags on fs.
@@ -58,7 +66,7 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 			return err
 		}
 	}
-	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, Cover: b.Cover || man.Cover, MaxPrints: man.MaxPrints}
+	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, Cover: b.Cover || man.Cover, Perf: b.Perf || b.PerfLedger != "" || man.Perf, MaxPrints: man.MaxPrints}
 	if b.Workers > 0 {
 		opt.Workers = b.Workers
 	}
@@ -132,6 +140,19 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 			lat.P99.Round(time.Microsecond), lat.Max.Round(time.Microsecond),
 			lat.JobsPerSec, lat.Utilization*100)
 		fmt.Printf("; %d total steps in %v wall\n", sum.TotalSteps, sum.Elapsed.Round(time.Microsecond))
+		if len(sum.Perf) > 0 {
+			fmt.Printf("; perf: %d ledger records (one per job + batch)\n", len(sum.Perf))
+		}
+	}
+
+	if b.PerfLedger != "" && len(sum.Perf) > 0 {
+		n, err := perf.AppendUnique(b.PerfLedger, sum.Perf...)
+		if err != nil {
+			return err
+		}
+		if !b.Progress {
+			fmt.Printf("; appended %d perf records to %s\n", n, b.PerfLedger)
+		}
 	}
 
 	if chrome != nil {

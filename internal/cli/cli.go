@@ -72,6 +72,7 @@ func (c *Common) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Model, "model", "simple16", "builtin model name or path to a .lisa file")
 	fs.StringVar(&c.Mode, "mode", "compiled", "simulation mode: interpretive, compiled, prebound")
 	fs.Uint64Var(&c.Max, "max", 1_000_000, "maximum control steps")
+	AddVersionFlag(fs)
 	RegisterLogFlags(fs)
 }
 

@@ -6,6 +6,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"golisa/internal/analyze"
 	"golisa/internal/asm"
@@ -13,6 +16,7 @@ import (
 	"golisa/internal/cover"
 	"golisa/internal/debug"
 	"golisa/internal/fleet"
+	"golisa/internal/perf"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
 	"golisa/internal/sim"
@@ -37,6 +41,8 @@ type Obs struct {
 	Cov         bool
 	CovJSON     string
 	CovHTML     string
+	Perf        bool
+	PerfLedger  string
 }
 
 // Register defines the flags on fs.
@@ -55,17 +61,23 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Cov, "cov", false, "print the model-coverage report (coding leaves, ops, activation edges, hazard causes) after the run")
 	fs.StringVar(&o.CovJSON, "cov-json", "", "write the model-coverage report as JSON (mergeable/diffable with lisa-cov) to this file")
 	fs.StringVar(&o.CovHTML, "cov-html", "", "write the model-coverage report as an HTML heatmap to this file")
+	fs.BoolVar(&o.Perf, "perf", false, "print a perf-observatory run record (deterministic counters, coverage, wall time) after the run")
+	fs.StringVar(&o.PerfLedger, "perf-ledger", "", "append the run record to this .lperf ledger (implies -perf instrumentation)")
 }
 
-// wantAnalyzer reports whether any flag asked for hazard attribution.
+// wantPerf reports whether any flag asked for a perf run record.
+func (o *Obs) wantPerf() bool { return o.Perf || o.PerfLedger != "" }
+
+// wantAnalyzer reports whether any flag asked for hazard attribution (a
+// perf record's deterministic tier is built from the analyzer's report).
 func (o *Obs) wantAnalyzer() bool {
-	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != ""
+	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != "" || o.wantPerf()
 }
 
 // wantCover reports whether any flag asked for model coverage (the live
 // server always gets a collector so /coverage works).
 func (o *Obs) wantCover() bool {
-	return o.Cov || o.CovJSON != "" || o.CovHTML != "" || o.HTTPAddr != ""
+	return o.Cov || o.CovJSON != "" || o.CovHTML != "" || o.HTTPAddr != "" || o.wantPerf()
 }
 
 // Session is one run's observability stack, assembled by Obs.Setup.
@@ -80,6 +92,13 @@ type Session struct {
 
 	obs  Obs
 	srvL net.Listener
+
+	// Perf-record inputs, kept so WritePerf (and the live /perf endpoint)
+	// can build a run record after — or during — the run.
+	mc       *core.Machine
+	sim      *sim.Simulator
+	prog     *asm.Program
+	progName string
 }
 
 // Setup builds the observers requested by the flags, attaches them to the
@@ -88,7 +107,11 @@ type Session struct {
 // may be nil (one is created if the live server needs it); extra
 // observers join the fanout.
 func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, source string, metrics *trace.Metrics, extra ...trace.Observer) *Session {
-	sess := &Session{Metrics: metrics, obs: *o}
+	sess := &Session{
+		Metrics: metrics, obs: *o,
+		mc: mc, sim: s, prog: prog,
+		progName: strings.TrimSuffix(filepath.Base(source), filepath.Ext(source)),
+	}
 	var observers []trace.Observer
 	observers = append(observers, extra...)
 	if metrics != nil {
@@ -140,6 +163,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Recorder:     sess.Recorder,
 			Analyzer:     sess.Analyzer,
 			Cover:        sess.Cover,
+			Perf:         sess.PerfRecord,
 			Batch:        &fleet.Service{Machine: mc, Mode: s.Mode(), Telemetry: fm},
 			BatchMetrics: fm,
 			StartPaused:  o.HTTPPaused,
@@ -155,6 +179,56 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 		s.SetObserver(trace.Fanout(observers...))
 	}
 	return sess
+}
+
+// PerfRecord builds a sealed perf run record from the session's current
+// simulator state and observers. The live server's /perf endpoint calls
+// it mid-run (no wall tier — a paused run has no meaningful ns/cycle);
+// WritePerf calls it after the run with the measured wall time.
+func (sess *Session) PerfRecord() *perf.RunRecord {
+	rec := perf.New(perf.Env{
+		Model:       sess.mc.Model.Name,
+		ModelHash:   perf.HashString(sess.mc.Source),
+		Program:     sess.progName,
+		ProgramHash: perf.HashProgram(sess.prog.Origin, sess.prog.Words),
+		Engine:      sess.sim.Mode().String(),
+		Workers:     1,
+		Note:        "observed run (observers attached); wall time is not calibrated — use lisa-perf measure for calibration",
+		Time:        time.Now().UTC().Format(time.RFC3339),
+	})
+	var rep *analyze.Report
+	if sess.Analyzer != nil {
+		rep = sess.Analyzer.Report()
+	}
+	rec.SetCounters(sess.sim.Step(), sess.sim.Halted(), rep)
+	if sess.Cover != nil {
+		rec.SetCoverage(sess.Cover.Snapshot())
+	}
+	return rec.Seal()
+}
+
+// WritePerf emits the run's perf record: printed when -perf was given,
+// appended to the -perf-ledger file when one was named. steps/elapsed are
+// the finished run's cycle count and wall time.
+func (sess *Session) WritePerf(steps uint64, elapsed time.Duration) {
+	if !sess.obs.wantPerf() {
+		return
+	}
+	rec := sess.PerfRecord()
+	if steps > 0 && elapsed > 0 {
+		rec.SetWall([]float64{float64(elapsed.Nanoseconds()) / float64(steps)})
+		rec.Seal()
+	}
+	if sess.obs.Perf {
+		Fail(rec.WriteText(os.Stdout))
+	}
+	if sess.obs.PerfLedger != "" {
+		n, err := perf.AppendUnique(sess.obs.PerfLedger, rec)
+		Fail(err)
+		if n > 0 {
+			fmt.Printf("; appended perf record %.12s to %s\n", rec.ID, sess.obs.PerfLedger)
+		}
+	}
 }
 
 // Protect runs the simulation body under the debug panic guard: if it

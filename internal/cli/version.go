@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"golisa/internal/buildinfo"
+)
+
+// versionFlag is set by the shared -version flag; HandleVersion reads it.
+var versionFlag bool
+
+// AddVersionFlag registers the shared -version flag on fs. Common.Register
+// calls it, so tools using the common flag group get it for free; the
+// others call it explicitly before flag.Parse.
+func AddVersionFlag(fs *flag.FlagSet) {
+	// Re-registering on the same FlagSet panics; tools that both use
+	// Common and call this directly would otherwise collide.
+	if fs.Lookup("version") != nil {
+		return
+	}
+	fs.BoolVar(&versionFlag, "version", false, "print build/host provenance and exit")
+}
+
+// HandleVersion prints the tool's build/host fingerprint and exits 0 when
+// -version was given. Call it right after flag.Parse. The line carries the
+// same provenance a perf RunRecord embeds, so a ledger entry can always be
+// matched back to the binary that wrote it.
+func HandleVersion() {
+	if !versionFlag {
+		return
+	}
+	fmt.Printf("%s %s\n", Tool, buildinfo.Get().String())
+	os.Exit(0)
+}

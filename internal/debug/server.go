@@ -25,6 +25,7 @@ import (
 	"golisa/internal/cover"
 	"golisa/internal/fleet"
 	"golisa/internal/model"
+	"golisa/internal/perf"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
 	"golisa/internal/sim"
@@ -48,6 +49,11 @@ type Options struct {
 	// Cover backs GET /coverage (model-coverage report of the live
 	// simulation).
 	Cover *cover.Collector
+	// Perf backs GET /perf: it builds a sealed perf-observatory run
+	// record from the live simulation's current state. The server calls
+	// it on the simulation goroutine (under the controller funnel), so
+	// implementations may read simulator state freely.
+	Perf func() *perf.RunRecord
 	// Batch backs POST /batch and POST /batch/stream: a manifest of jobs
 	// run over one shared compiled-model artifact (internal/fleet),
 	// independent of the live simulation.
@@ -129,6 +135,7 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/profile", srv.handleProfile)
 	srv.mux.HandleFunc("/analyze", srv.handleAnalyze)
 	srv.mux.HandleFunc("/coverage", srv.handleCoverage)
+	srv.mux.HandleFunc("/perf", srv.handlePerf)
 	srv.mux.HandleFunc("/mem", srv.handleMem)
 	srv.mux.HandleFunc("/pause", srv.handlePause)
 	srv.mux.HandleFunc("/resume", srv.handleResume)
@@ -156,6 +163,7 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/profile">/profile</a> — pprof profile (go tool pprof http://HOST/profile)</li>
 <li><a href="/analyze">/analyze</a> — hazard attribution report (?format=json|text|html)</li>
 <li><a href="/coverage">/coverage</a> — model-coverage report (?format=json|text|html)</li>
+<li><a href="/perf">/perf</a> — perf-observatory run record of the live state (?format=json|text)</li>
 <li>/mem?name=MEM&amp;addr=A&amp;n=N — memory window</li>
 <li>/pause /resume /step?n=N — run control</li>
 <li>/break?pc=ADDR[&amp;clear=1] — PC breakpoints</li>
@@ -288,6 +296,47 @@ func (srv *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		err = rep.WriteHTML(&buf)
 	default:
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json, text or html)", format))
+		return
+	}
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	fmt.Fprint(w, buf.String())
+}
+
+// handlePerf serves a perf-observatory run record of the live simulation's
+// current state, hardened per the batch-endpoint conventions. The record
+// is built on the simulation goroutine; mid-run records carry no wall
+// tier (a paused simulation has no meaningful ns/cycle).
+func (srv *Server) handlePerf(w http.ResponseWriter, r *http.Request) {
+	if srv.opts.Perf == nil {
+		jsonError(w, http.StatusNotFound, "no perf source attached")
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		jsonError(w, http.StatusMethodNotAllowed, "perf is read-only, use GET")
+		return
+	}
+	var rec *perf.RunRecord
+	srv.ctrl.Do(func() { rec = srv.opts.Perf() })
+	if rec == nil {
+		jsonError(w, http.StatusInternalServerError, "perf source returned no record")
+		return
+	}
+	var buf strings.Builder
+	var err error
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		err = rec.WriteJSON(&buf)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = rec.WriteText(&buf)
+	default:
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json or text)", format))
 		return
 	}
 	if err != nil {

@@ -1,0 +1,117 @@
+package debug_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/debug"
+	"golisa/internal/perf"
+	"golisa/internal/sim"
+	"golisa/internal/trace"
+)
+
+// newPerfHarness runs the countdown kernel to completion under a server
+// with a perf source attached, the way lisa-sim -http -perf does.
+func newPerfHarness(t *testing.T) *harness {
+	t.Helper()
+	m, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := m.AssembleAndLoad(countdown, sim.Compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source mirrors cli.Session.PerfRecord: a counters-only record
+	// built from the live simulator under the controller funnel.
+	src := func() *perf.RunRecord {
+		rec := perf.New(perf.Env{
+			Model: m.Model.Name, ModelHash: perf.HashString(m.Source),
+			Program: "countdown", ProgramHash: perf.HashString(countdown),
+			Engine: sim.Compiled.String(), Workers: 1,
+		})
+		rec.SetCounters(s.Step(), s.Halted(), nil)
+		return rec.Seal()
+	}
+	srv := debug.NewServer(s, debug.Options{Perf: src})
+	s.SetObserver(trace.Fanout(srv.Attach()))
+
+	h := &harness{ts: httptest.NewServer(srv.Handler()), done: make(chan error, 1)}
+	t.Cleanup(h.ts.Close)
+	go func() {
+		_, err := s.Run(50_000)
+		srv.Finish()
+		h.done <- err
+	}()
+	if err := <-h.done; err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPerfEndpoint(t *testing.T) {
+	h := newPerfHarness(t)
+
+	// Default and explicit JSON: a sealed, verifiable run record.
+	body := h.get(t, "/perf")
+	var rec perf.RunRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatalf("GET /perf: %v\n%s", err, body)
+	}
+	if rec.Model != "simple16" || rec.Engine != "compiled" {
+		t.Fatalf("record header: %+v", rec)
+	}
+	if rec.Counters.Cycles == 0 || !rec.Counters.Halted {
+		t.Fatalf("counters not captured: %+v", rec.Counters)
+	}
+	if err := rec.Verify(); err != nil {
+		t.Errorf("endpoint record fails content-address verification: %v", err)
+	}
+	if string(h.get(t, "/perf?format=json")) != string(body) {
+		t.Error("explicit json differs from the default format")
+	}
+
+	text := string(h.get(t, "/perf?format=text"))
+	if !strings.Contains(text, "cycles") || !strings.Contains(text, "simple16") {
+		t.Errorf("text format: %q", text)
+	}
+
+	// Unknown format: JSON error body.
+	resp, err := http.Get(h.ts.URL + "/perf?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkJSONError(t, resp, http.StatusBadRequest)
+
+	// Non-GET: 405 with Allow, still a JSON body.
+	resp, err = http.Post(h.ts.URL+"/perf", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Allow"); got != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", got)
+	}
+	checkJSONError(t, resp, http.StatusMethodNotAllowed)
+}
+
+// TestPerfEndpointDetached: without a perf source the route 404s with a
+// JSON error.
+func TestPerfEndpointDetached(t *testing.T) {
+	h := newHarness(t)
+	defer func() {
+		h.get(t, "/resume")
+		<-h.done
+	}()
+	resp, err := http.Get(h.ts.URL + "/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := checkJSONError(t, resp, http.StatusNotFound)
+	if !strings.Contains(body, "perf") {
+		t.Errorf("error body should name the missing source: %q", body)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"golisa/internal/asm"
 	"golisa/internal/core"
 	"golisa/internal/cover"
+	"golisa/internal/perf"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
 )
@@ -83,6 +84,10 @@ type Options struct {
 	// Telemetry, when non-nil, receives the batch's lifecycle events
 	// (per-job spans, build phases, the final summary). Nil costs nothing.
 	Telemetry Telemetry
+	// Perf turns the batch into performance-observatory records: one
+	// sealed ledger RunRecord per successful job plus one batch-level
+	// record carrying the latency summary, in Summary.Perf.
+	Perf bool
 }
 
 // DefaultMaxSteps caps jobs when neither the job nor the options set one.
@@ -122,6 +127,10 @@ type Summary struct {
 
 	// Latency summarizes the per-job lifecycle spans.
 	Latency Latency `json:"latency"`
+
+	// Perf holds the batch's sealed ledger records (Options.Perf): one
+	// per successful job plus one batch-level record.
+	Perf []*perf.RunRecord `json:"perf,omitempty"`
 
 	Results []Result `json:"results"`
 }
@@ -321,6 +330,9 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	if sec := sum.Elapsed.Seconds(); sec > 0 {
 		sum.Latency.JobsPerSec = float64(len(jobs)) / sec
 		sum.Latency.Utilization = busy.Seconds() / (float64(workers) * sec)
+	}
+	if opt.Perf {
+		sum.Perf = buildPerfRecords(mc, mode, jobs, progs, sum, perfStamp())
 	}
 	em.batchEnd(sum)
 	return sum, nil

@@ -22,6 +22,7 @@ type Manifest struct {
 	Max       uint64 `json:"max,omitempty"`     // default per-job step cap
 	Analyze   bool   `json:"analyze,omitempty"`
 	Cover     bool   `json:"cover,omitempty"`      // collect model coverage per job, union into the summary
+	Perf      bool   `json:"perf,omitempty"`       // emit perf-ledger records into the summary
 	MaxPrints int    `json:"max_prints,omitempty"` // per-job print-line cap (0 = default, <0 unlimited)
 	Jobs      []Job  `json:"jobs"`
 }
@@ -161,6 +162,7 @@ func (sv *Service) RunWith(man *Manifest, tele Telemetry) (*Summary, error) {
 		MaxSteps:  man.Max,
 		Analyze:   man.Analyze,
 		Cover:     man.Cover,
+		Perf:      man.Perf,
 		MaxPrints: man.MaxPrints,
 		Telemetry: TeleFanout(sv.Telemetry, tele),
 	}

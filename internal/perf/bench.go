@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"golisa/internal/buildinfo"
+)
+
+// BenchRow is one key's latest measurement, in the BENCH_*.json idiom
+// (runs arrays plus medians, so a reader can re-derive any statistic).
+type BenchRow struct {
+	Key              string    `json:"key"`
+	RecordID         string    `json:"record_id"`
+	Time             string    `json:"time,omitempty"`
+	Cycles           uint64    `json:"cycles"`
+	CPI              float64   `json:"cpi,omitempty"`
+	NsPerCycleRuns   []float64 `json:"ns_per_cycle_runs,omitempty"`
+	NsPerCycleMedian float64   `json:"ns_per_cycle_median,omitempty"`
+	SpreadPct        float64   `json:"spread_pct,omitempty"`
+}
+
+// BenchEntry is a machine-written BENCH_*.json section: the latest ledger
+// record per key, stamped with the measuring host.
+type BenchEntry struct {
+	Note string     `json:"note"`
+	Host string     `json:"host"`
+	Rows []BenchRow `json:"rows"`
+}
+
+// BenchEntry renders the latest record of every key matching filter.
+func (l *Ledger) BenchEntry(note string, filter Key) (*BenchEntry, error) {
+	e := &BenchEntry{Note: note, Host: buildinfo.Get().HostLine()}
+	for _, k := range l.Keys() {
+		if (filter.Model != "" && k.Model != filter.Model) ||
+			(filter.Program != "" && k.Program != filter.Program) ||
+			(filter.Engine != "" && k.Engine != filter.Engine) {
+			continue
+		}
+		r := l.Latest(k)
+		row := BenchRow{
+			Key:      k.String(),
+			RecordID: r.ID,
+			Time:     r.Time,
+			Cycles:   r.Counters.Cycles,
+			CPI:      r.Counters.CPI,
+		}
+		if len(r.Wall.Runs) > 0 {
+			row.NsPerCycleRuns = r.Wall.Runs
+			row.NsPerCycleMedian = r.Wall.Median
+			row.SpreadPct = 100 * r.Wall.Spread
+		}
+		e.Rows = append(e.Rows, row)
+	}
+	if len(e.Rows) == 0 {
+		return nil, fmt.Errorf("perf: no ledger records match %s", filter)
+	}
+	return e, nil
+}
+
+// AddToBenchFile inserts the entry under name into a BENCH_*.json file by
+// textual splice before the final closing brace, preserving the existing
+// key order and formatting that a map round-trip would destroy. The file
+// must exist, hold a JSON object, and not already contain the key.
+func AddToBenchFile(path, name string, e *BenchEntry) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(data) {
+		return fmt.Errorf("perf: %s is not valid JSON", path)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("perf: %s is not a JSON object: %w", path, err)
+	}
+	if _, exists := top[name]; exists {
+		return fmt.Errorf("perf: %s already has an entry %q", path, name)
+	}
+	entryJSON, err := json.MarshalIndent(e, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	idx := bytes.LastIndexByte(data, '}')
+	if idx < 0 {
+		return fmt.Errorf("perf: %s has no closing brace", path)
+	}
+	head := strings.TrimRight(string(data[:idx]), " \t\n")
+	if !strings.HasSuffix(head, "{") { // non-empty object: need a separating comma
+		head += ","
+	}
+	out := fmt.Sprintf("%s\n  %q: %s\n}\n", head, name, entryJSON)
+	if !json.Valid([]byte(out)) {
+		return fmt.Errorf("perf: internal error: spliced %s would be invalid JSON", path)
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}

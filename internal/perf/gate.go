@@ -1,0 +1,216 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tier classifies a gate check: deterministic checks compare exactly,
+// wall checks compare under the noise-aware bound.
+type Tier string
+
+const (
+	TierDeterministic Tier = "deterministic"
+	TierWall          Tier = "wall"
+)
+
+// Check is one gate comparison with its verdict and explanation.
+type Check struct {
+	Metric string `json:"metric"`
+	Tier   Tier   `json:"tier"`
+	Base   string `json:"base"`
+	Cur    string `json:"cur"`
+	OK     bool   `json:"ok"`
+	// Detail explains a failure (or a notable pass, e.g. the wall bound
+	// used); empty for uninteresting passes.
+	Detail string `json:"detail,omitempty"`
+}
+
+// GateResult is the verdict of comparing a candidate run against a
+// baseline.
+type GateResult struct {
+	Key    Key     `json:"key"`
+	BaseID string  `json:"base_id"`
+	CurID  string  `json:"cur_id"`
+	Pass   bool    `json:"pass"`
+	Checks []Check `json:"checks"`
+}
+
+// GateOptions tunes the wall-time tier.
+type GateOptions struct {
+	// WallThreshold is the allowed fractional median slowdown on top of
+	// the baseline's own measured spread (default 0.25 = 25%). The
+	// deterministic tier has no knob: counters must match exactly.
+	WallThreshold float64
+	// SkipWall disables the wall-time check entirely — for
+	// cross-machine comparisons where only the deterministic tier is
+	// meaningful.
+	SkipWall bool
+}
+
+// DefaultWallThreshold is the wall-time slack when GateOptions leaves
+// WallThreshold at 0.
+const DefaultWallThreshold = 0.25
+
+// Gate compares cur against base with two tiers of strictness:
+//
+//   - Deterministic counters (model/program identity, cycles, dispatches,
+//     issue/idle cycles, CPI, the per-cause penalty mix, halt status,
+//     coverage) must match byte for byte. Simulation is deterministic;
+//     any drift here is a real behavior change, never noise.
+//   - Wall time is noisy by nature, so the candidate's median ns/cycle is
+//     allowed up to base.Median·(1+threshold) plus the baseline's own
+//     upward spread (base.Max − base.Median). A baseline that wobbled 10%
+//     grants 10% more headroom — the noise model travels in the record.
+//
+// Identity mismatches (model hash, program hash, engine) fail the gate
+// but the counter checks still run, so the explanation shows what
+// actually moved.
+func Gate(base, cur *RunRecord, opt GateOptions) *GateResult {
+	if opt.WallThreshold == 0 {
+		opt.WallThreshold = DefaultWallThreshold
+	}
+	res := &GateResult{Key: cur.Key(), BaseID: base.ID, CurID: cur.ID, Pass: true}
+	add := func(c Check) {
+		if !c.OK {
+			res.Pass = false
+		}
+		res.Checks = append(res.Checks, c)
+	}
+	exact := func(metric, b, c, why string) {
+		ck := Check{Metric: metric, Tier: TierDeterministic, Base: b, Cur: c, OK: b == c}
+		if !ck.OK {
+			ck.Detail = why
+		}
+		add(ck)
+	}
+
+	exact("model_hash", base.ModelHash, cur.ModelHash, "model source changed — histories are not comparable")
+	exact("program_hash", base.ProgramHash, cur.ProgramHash, "assembled program changed — histories are not comparable")
+	exact("engine", base.Engine, cur.Engine, "simulation engine differs")
+
+	bc, cc := base.Counters, cur.Counters
+	exactU := func(metric string, b, c uint64) {
+		exact(metric, fmt.Sprint(b), fmt.Sprint(c), deltaDetail(b, c))
+	}
+	exactU("cycles", bc.Cycles, cc.Cycles)
+	exactU("dispatches", bc.Dispatches, cc.Dispatches)
+	exactU("issue_cycles", bc.IssueCycles, cc.IssueCycles)
+	exactU("idle_cycles", bc.IdleCycles, cc.IdleCycles)
+	exact("cpi", fmt.Sprintf("%.6f", bc.CPI), fmt.Sprintf("%.6f", cc.CPI), "cycles-per-instruction drifted")
+	exact("halted", fmt.Sprint(bc.Halted), fmt.Sprint(cc.Halted), "halt status differs")
+
+	// Penalty mix: union of causes, absent = 0, each exact.
+	for _, cause := range unionCauses(bc.Penalty, cc.Penalty) {
+		exactU("penalty."+cause, bc.Penalty[cause], cc.Penalty[cause])
+	}
+
+	// Coverage: each domain's covered/total exact. A model-coverage shift
+	// means the run exercised different parts of the description.
+	baseCov := map[string]CoverageStat{}
+	for _, cs := range base.Coverage {
+		baseCov[cs.Domain] = cs
+	}
+	for _, cs := range cur.Coverage {
+		b, ok := baseCov[cs.Domain]
+		delete(baseCov, cs.Domain)
+		if !ok {
+			continue // domain only measured on one side: skip, not a regression
+		}
+		exact("coverage."+cs.Domain,
+			fmt.Sprintf("%d/%d", b.Covered, b.Total),
+			fmt.Sprintf("%d/%d", cs.Covered, cs.Total),
+			"run exercises different parts of the model")
+	}
+
+	if !opt.SkipWall && len(base.Wall.Runs) > 0 && len(cur.Wall.Runs) > 0 {
+		allowed := base.Wall.Median*(1+opt.WallThreshold) + (base.Wall.Max - base.Wall.Median)
+		ck := Check{
+			Metric: "wall_ns_per_cycle",
+			Tier:   TierWall,
+			Base:   fmt.Sprintf("%.1f", base.Wall.Median),
+			Cur:    fmt.Sprintf("%.1f", cur.Wall.Median),
+			OK:     cur.Wall.Median <= allowed,
+		}
+		ck.Detail = fmt.Sprintf("bound %.1f ns/cycle (median %.1f × %.0f%% threshold + %.1f baseline spread)",
+			allowed, base.Wall.Median, 100*opt.WallThreshold, base.Wall.Max-base.Wall.Median)
+		add(ck)
+	}
+	return res
+}
+
+// deltaDetail phrases a counter drift with its direction and magnitude.
+func deltaDetail(b, c uint64) string {
+	switch {
+	case c > b:
+		return fmt.Sprintf("regressed by %d (+%.1f%%)", c-b, pct(c-b, b))
+	case b > c:
+		return fmt.Sprintf("improved by %d (-%.1f%%) — re-baseline if intentional", b-c, pct(b-c, b))
+	}
+	return ""
+}
+
+func pct(delta, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(delta) / float64(base)
+}
+
+// unionCauses returns the sorted union of two penalty maps' keys.
+func unionCauses(a, b map[string]uint64) []string {
+	m := map[string]bool{}
+	for k := range a {
+		m[k] = true
+	}
+	for k := range b {
+		m[k] = true
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Failures returns only the failed checks.
+func (g *GateResult) Failures() []Check {
+	var out []Check
+	for _, c := range g.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WriteText writes the per-metric verdict table, failures first.
+func (g *GateResult) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	verdict := "PASS"
+	if !g.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(ew, "gate %s: %s (base %.12s, cur %.12s)\n", g.Key, verdict, g.BaseID, g.CurID)
+	emit := func(wantOK bool) {
+		for _, c := range g.Checks {
+			if c.OK != wantOK {
+				continue
+			}
+			mark := "ok  "
+			if !c.OK {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(ew, "  %s %-22s %-10s base=%s cur=%s", mark, c.Metric, "["+string(c.Tier)+"]", c.Base, c.Cur)
+			if c.Detail != "" && (!c.OK || c.Tier == TierWall) {
+				fmt.Fprintf(ew, "  (%s)", c.Detail)
+			}
+			fmt.Fprintln(ew)
+		}
+	}
+	emit(false)
+	emit(true)
+	return ew.err
+}

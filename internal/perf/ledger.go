@@ -1,0 +1,201 @@
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Ledger is an in-memory view over a .lperf file: an append-only JSONL
+// stream of sealed RunRecords, one compact JSON object per line. Records
+// are content-addressed, so the file is a set — re-appending an existing
+// record is a no-op under AppendUnique, and merging two ledgers never
+// duplicates a measurement.
+type Ledger struct {
+	Records []*RunRecord
+	ids     map[string]bool
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{ids: map[string]bool{}}
+}
+
+// Read parses a .lperf stream. Every record's content address is
+// verified; blank lines are tolerated, anything else is an error with its
+// line number.
+func Read(r io.Reader) (*Ledger, error) {
+	l := NewLedger()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		rec := &RunRecord{}
+		if err := json.Unmarshal(text, rec); err != nil {
+			return nil, fmt.Errorf("perf: ledger line %d: %w", line, err)
+		}
+		if err := rec.Verify(); err != nil {
+			return nil, fmt.Errorf("perf: ledger line %d: %w", line, err)
+		}
+		l.Add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: read ledger: %w", err)
+	}
+	return l, nil
+}
+
+// Load reads a .lperf file. A missing file is an empty ledger, so tools
+// can append to a path that does not exist yet.
+func Load(path string) (*Ledger, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewLedger(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Add inserts a record unless its ID is already present. It reports
+// whether the record was new.
+func (l *Ledger) Add(rec *RunRecord) bool {
+	if l.ids == nil {
+		l.ids = map[string]bool{}
+	}
+	if l.ids[rec.ID] {
+		return false
+	}
+	l.ids[rec.ID] = true
+	l.Records = append(l.Records, rec)
+	return true
+}
+
+// Merge adds every record of other, returning how many were new.
+func (l *Ledger) Merge(other *Ledger) int {
+	added := 0
+	for _, rec := range other.Records {
+		if l.Add(rec) {
+			added++
+		}
+	}
+	return added
+}
+
+// Query returns the records matching a key in file order (oldest first).
+// Empty key fields are wildcards, so Query(Key{Model: "simple16"})
+// returns every simple16 record.
+func (l *Ledger) Query(k Key) []*RunRecord {
+	var out []*RunRecord
+	for _, rec := range l.Records {
+		if (k.Model == "" || rec.Model == k.Model) &&
+			(k.Program == "" || rec.Program == k.Program) &&
+			(k.Engine == "" || rec.Engine == k.Engine) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Latest returns the newest record for an exact key (nil when the key has
+// no history). "Newest" is file order — the append-only discipline makes
+// position the timeline.
+func (l *Ledger) Latest(k Key) *RunRecord {
+	recs := l.Query(k)
+	if len(recs) == 0 {
+		return nil
+	}
+	return recs[len(recs)-1]
+}
+
+// Keys returns every distinct (model, program, engine) triple present, in
+// stable sorted order.
+func (l *Ledger) Keys() []Key {
+	seen := map[Key]bool{}
+	var keys []Key
+	for _, rec := range l.Records {
+		k := rec.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}
+
+// Write emits the whole ledger as JSONL.
+func (l *Ledger) Write(w io.Writer) error {
+	for _, rec := range l.Records {
+		if err := writeLine(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append appends sealed records to a .lperf file (created if absent),
+// using O_APPEND so concurrent appenders interleave whole lines.
+func Append(path string, recs ...*RunRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.ID == "" {
+			rec.Seal()
+		}
+		if err := writeLine(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// AppendUnique appends only the records the file does not already hold,
+// returning how many were written.
+func AppendUnique(path string, recs ...*RunRecord) (int, error) {
+	existing, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	var fresh []*RunRecord
+	for _, rec := range recs {
+		if rec.ID == "" {
+			rec.Seal()
+		}
+		if existing.Add(rec) {
+			fresh = append(fresh, rec)
+		}
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	return len(fresh), Append(path, fresh...)
+}
+
+// writeLine writes one record as a compact JSON line.
+func writeLine(w io.Writer, rec *RunRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,463 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golisa/internal/core"
+	"golisa/internal/sim"
+)
+
+func loadSimple16(t *testing.T) *core.Machine {
+	t.Helper()
+	mc, err := core.LoadBuiltin("simple16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func readKernel(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func measureDot(t *testing.T, mc *core.Machine, opt MeasureOptions) *RunRecord {
+	t.Helper()
+	rec, err := Measure(mc, sim.Compiled, "dot64", readKernel(t, "dot64.s"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestMeasureDeterministicTier(t *testing.T) {
+	mc := loadSimple16(t)
+	a := measureDot(t, mc, MeasureOptions{Runs: 2, Time: "2026-08-08T00:00:00Z"})
+	b := measureDot(t, mc, MeasureOptions{Runs: 2, Time: "2026-08-08T00:00:00Z"})
+
+	if a.Counters.Cycles == 0 || !a.Counters.Halted {
+		t.Fatalf("counter pass did not run to halt: %+v", a.Counters)
+	}
+	if got, want := a.Counters.Cycles, uint64(586); got != want {
+		t.Errorf("dot64 cycles = %d, want %d (the calibration kernel's known cost)", got, want)
+	}
+	// Deterministic tier must reproduce exactly between measurements.
+	aj, _ := json.Marshal(a.Counters)
+	bj, _ := json.Marshal(b.Counters)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("counters not reproducible:\n%s\n%s", aj, bj)
+	}
+	if len(a.Coverage) == 0 {
+		t.Error("no coverage tier measured")
+	}
+	if len(a.Wall.Runs) != 2 || a.Wall.Median <= 0 {
+		t.Errorf("wall tier = %+v, want 2 runs with positive median", a.Wall)
+	}
+	if a.ModelHash == "" || a.ProgramHash == "" || a.ModelHash == a.ProgramHash {
+		t.Errorf("bad hashes: model %q program %q", a.ModelHash, a.ProgramHash)
+	}
+	if a.Host.GoVersion == "" {
+		t.Error("host fingerprint not stamped")
+	}
+	if err := a.Verify(); err != nil {
+		t.Errorf("sealed record fails Verify: %v", err)
+	}
+}
+
+func TestSetWallStats(t *testing.T) {
+	r := &RunRecord{}
+	r.SetWall([]float64{30, 10, 20})
+	if r.Wall.Median != 20 || r.Wall.Min != 10 || r.Wall.Max != 30 {
+		t.Errorf("odd-N wall = %+v", r.Wall)
+	}
+	if r.Wall.Spread != 1 { // (30-10)/20
+		t.Errorf("spread = %v, want 1", r.Wall.Spread)
+	}
+	r.SetWall([]float64{10, 20, 30, 40})
+	if r.Wall.Median != 25 {
+		t.Errorf("even-N median = %v, want 25", r.Wall.Median)
+	}
+	r.SetWall(nil)
+	if r.Wall.Median != 0 || len(r.Wall.Runs) != 0 {
+		t.Errorf("empty wall = %+v", r.Wall)
+	}
+}
+
+func TestContentAddressing(t *testing.T) {
+	r := New(Env{Model: "m", ModelHash: "mh", Program: "p", ProgramHash: "ph", Engine: "compiled", Time: "2026-08-08T00:00:00Z"})
+	r.SetCounters(100, true, nil)
+	r.Seal()
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	id := r.ID
+	r.Counters.Cycles = 101 // tamper
+	if err := r.Verify(); err == nil {
+		t.Error("Verify accepted a tampered record")
+	}
+	r.Counters.Cycles = 100
+	if r.ComputeID() != id {
+		t.Error("ComputeID not stable after restore")
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.lperf")
+
+	mk := func(cycles uint64, tm string) *RunRecord {
+		r := New(Env{Model: "simple16", Program: "dot64", Engine: "compiled",
+			ModelHash: "mh", ProgramHash: "ph", Time: tm})
+		r.SetCounters(cycles, true, nil)
+		return r.Seal()
+	}
+	r1, r2 := mk(586, "t1"), mk(586, "t2")
+	if err := Append(path, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records) != 2 {
+		t.Fatalf("loaded %d records, want 2", len(l.Records))
+	}
+	if got := l.Latest(Key{"simple16", "dot64", "compiled"}); got == nil || got.ID != r2.ID {
+		t.Errorf("Latest = %v, want the second record", got)
+	}
+	// Wildcard queries.
+	if n := len(l.Query(Key{Model: "simple16"})); n != 2 {
+		t.Errorf("wildcard query = %d records, want 2", n)
+	}
+	if n := len(l.Query(Key{Model: "c62x"})); n != 0 {
+		t.Errorf("mismatched query = %d records, want 0", n)
+	}
+
+	// AppendUnique dedupes against file content.
+	n, err := AppendUnique(path, r1, mk(600, "t3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("AppendUnique wrote %d records, want 1", n)
+	}
+	l2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Records) != 3 {
+		t.Errorf("after dedupe append: %d records, want 3", len(l2.Records))
+	}
+
+	// Missing file is an empty ledger.
+	empty, err := Load(filepath.Join(dir, "nope.lperf"))
+	if err != nil || len(empty.Records) != 0 {
+		t.Errorf("missing file: %v, %d records", err, len(empty.Records))
+	}
+
+	// Tampered line is rejected with its line number.
+	data, _ := os.ReadFile(path)
+	bad := bytes.Replace(data, []byte(`"cycles":586`), []byte(`"cycles":587`), 1)
+	if _, err := Read(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("tampered ledger error = %v, want line-1 integrity failure", err)
+	}
+
+	// Merge counts only new records.
+	other := NewLedger()
+	other.Add(r1)
+	other.Add(mk(700, "t4"))
+	if got := l2.Merge(other); got != 1 {
+		t.Errorf("Merge added %d, want 1", got)
+	}
+}
+
+func TestGateTwoTiers(t *testing.T) {
+	mk := func(cycles uint64, penalty map[string]uint64, wall []float64) *RunRecord {
+		r := New(Env{Model: "simple16", Program: "fir", Engine: "compiled",
+			ModelHash: "mh", ProgramHash: "ph", Time: "t"})
+		r.SetCounters(cycles, true, nil)
+		r.Counters.Penalty = penalty
+		r.Coverage = []CoverageStat{{Domain: "ops", Covered: 10, Total: 12}}
+		r.SetWall(wall)
+		return r.Seal()
+	}
+	base := mk(1000, map[string]uint64{"data": 40}, []float64{100, 110, 105})
+
+	// Identical deterministic tier, wall within bound: pass.
+	same := mk(1000, map[string]uint64{"data": 40}, []float64{104, 108, 101})
+	if g := Gate(base, same, GateOptions{}); !g.Pass {
+		var sb strings.Builder
+		g.WriteText(&sb)
+		t.Errorf("identical runs failed the gate:\n%s", sb.String())
+	}
+
+	// 10% cycle regression: hard failure naming "cycles" with magnitude.
+	slow := mk(1100, map[string]uint64{"data": 40}, []float64{105, 104, 106})
+	g := Gate(base, slow, GateOptions{})
+	if g.Pass {
+		t.Fatal("cycle regression passed the gate")
+	}
+	var found bool
+	for _, c := range g.Failures() {
+		if c.Metric == "cycles" && c.Tier == TierDeterministic && strings.Contains(c.Detail, "+10.0%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cycles failure with magnitude in %+v", g.Failures())
+	}
+	var sb strings.Builder
+	if err := g.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FAIL cycles") || !strings.Contains(sb.String(), "regressed by 100") {
+		t.Errorf("text verdict lacks per-metric explanation:\n%s", sb.String())
+	}
+
+	// Stall-mix drift at identical total cycles is still a hard failure.
+	mix := mk(1000, map[string]uint64{"data": 30, "control": 10}, []float64{105})
+	g = Gate(base, mix, GateOptions{})
+	if g.Pass {
+		t.Error("penalty-mix drift passed the gate")
+	}
+	names := map[string]bool{}
+	for _, c := range g.Failures() {
+		names[c.Metric] = true
+	}
+	if !names["penalty.data"] || !names["penalty.control"] {
+		t.Errorf("penalty failures = %v, want both causes", names)
+	}
+
+	// Wall regression beyond bound: wall-tier failure only.
+	// allowed = 105*(1+0.25) + (110-105) = 136.25
+	hot := mk(1000, map[string]uint64{"data": 40}, []float64{140, 139, 141})
+	g = Gate(base, hot, GateOptions{})
+	if g.Pass {
+		t.Error("wall regression passed the gate")
+	}
+	for _, c := range g.Failures() {
+		if c.Tier != TierWall {
+			t.Errorf("unexpected non-wall failure: %+v", c)
+		}
+	}
+	// The same comparison passes with a looser threshold and under SkipWall.
+	if g := Gate(base, hot, GateOptions{WallThreshold: 0.5}); !g.Pass {
+		t.Error("wall check ignored the configured threshold")
+	}
+	if g := Gate(base, hot, GateOptions{SkipWall: true}); !g.Pass {
+		t.Error("SkipWall still failed on wall time")
+	}
+
+	// The baseline's own spread grants headroom: base max 110 → +5 slack.
+	warm := mk(1000, map[string]uint64{"data": 40}, []float64{135, 135, 135})
+	if g := Gate(base, warm, GateOptions{}); !g.Pass {
+		t.Error("median within threshold+spread bound still failed")
+	}
+
+	// Coverage drift is a hard failure.
+	cov := mk(1000, map[string]uint64{"data": 40}, []float64{105})
+	cov.Coverage[0].Covered = 9
+	cov.Seal()
+	g = Gate(base, cov, GateOptions{})
+	if g.Pass {
+		t.Error("coverage drift passed the gate")
+	}
+
+	// Identity mismatch fails but counters are still compared.
+	other := mk(1100, map[string]uint64{"data": 40}, []float64{105})
+	other.ProgramHash = "other"
+	other.Seal()
+	g = Gate(base, other, GateOptions{})
+	if g.Pass {
+		t.Error("program-hash mismatch passed")
+	}
+	names = map[string]bool{}
+	for _, c := range g.Failures() {
+		names[c.Metric] = true
+	}
+	if !names["program_hash"] || !names["cycles"] {
+		t.Errorf("identity mismatch hid the counter drift: %v", names)
+	}
+}
+
+func TestTrendAndSparkline(t *testing.T) {
+	if got := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("Sparkline ramp = %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▅▅▅" {
+		t.Errorf("Sparkline flat = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("Sparkline empty = %q", got)
+	}
+
+	l := NewLedger()
+	for i, cyc := range []uint64{500, 520, 510, 560} {
+		r := New(Env{Model: "simple16", Program: "dot64", Engine: "compiled",
+			ModelHash: "mh", ProgramHash: "ph", Time: string(rune('a' + i))})
+		r.SetCounters(cyc, true, nil)
+		r.SetWall([]float64{float64(100 + 10*i)})
+		l.Add(r.Seal())
+	}
+	rep := l.Trend(Key{})
+	if len(rep.Keys) != 1 || rep.Keys[0].Runs != 4 {
+		t.Fatalf("trend keys = %+v", rep.Keys)
+	}
+	var cycles *TrendSeries
+	for i := range rep.Keys[0].Series {
+		if rep.Keys[0].Series[i].Metric == "cycles" {
+			cycles = &rep.Keys[0].Series[i]
+		}
+	}
+	if cycles == nil || cycles.First != 500 || cycles.Last != 560 || cycles.Max != 560 {
+		t.Fatalf("cycles series = %+v", cycles)
+	}
+
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"simple16/dot64/compiled", "cycles", "wall_ns_per_cycle", "+12.0%"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("trend text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var htmlBuf bytes.Buffer
+	if err := rep.WriteHTML(&htmlBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(htmlBuf.String(), "<polyline") || !strings.Contains(htmlBuf.String(), "simple16/dot64/compiled") {
+		t.Error("trend HTML lacks sparkline polylines")
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back TrendReport
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("trend JSON does not round-trip: %v", err)
+	}
+
+	// Filter: no matches is a report with no keys, and text says so.
+	none := l.Trend(Key{Model: "c62x"})
+	if len(none.Keys) != 0 {
+		t.Errorf("filtered trend = %+v", none.Keys)
+	}
+}
+
+func TestBenchEntrySplice(t *testing.T) {
+	l := NewLedger()
+	r := New(Env{Model: "simple16", Program: "dot64", Engine: "compiled",
+		ModelHash: "mh", ProgramHash: "ph", Time: "2026-08-08T00:00:00Z"})
+	r.SetCounters(586, true, nil)
+	r.SetWall([]float64{2500, 2600, 2550})
+	l.Add(r.Seal())
+
+	e, err := l.BenchEntry("machine-written by lisa-perf bench-entry", Key{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Rows) != 1 || e.Rows[0].Cycles != 586 || e.Rows[0].NsPerCycleMedian != 2550 {
+		t.Fatalf("bench entry rows = %+v", e.Rows)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	seed := "{\n  \"date\": \"2026-08-06\",\n  \"results\": {\"old\": 1}\n}\n"
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddToBenchFile(path, "pr8_perf_observatory", e); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !json.Valid(data) {
+		t.Fatalf("spliced file invalid JSON:\n%s", data)
+	}
+	// Existing keys and their order survive the splice.
+	if !strings.Contains(string(data), `"date": "2026-08-06"`) {
+		t.Errorf("splice destroyed existing content:\n%s", data)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top["pr8_perf_observatory"]; !ok {
+		t.Errorf("entry key missing after splice:\n%s", data)
+	}
+	// Re-adding the same key is refused.
+	if err := AddToBenchFile(path, "pr8_perf_observatory", e); err == nil {
+		t.Error("duplicate bench key accepted")
+	}
+	// No matching records is an error, not an empty entry.
+	if _, err := l.BenchEntry("x", Key{Model: "c62x"}); err == nil {
+		t.Error("BenchEntry with no matches succeeded")
+	}
+}
+
+func TestMeasureGateEndToEnd(t *testing.T) {
+	// The acceptance criterion in miniature: measure the same kernel
+	// twice → gate passes; measure the de-optimized variant under the
+	// same name → gate fails naming cycles.
+	mc := loadSimple16(t)
+	fast := measureDot(t, mc, MeasureOptions{Runs: 1})
+	again := measureDot(t, mc, MeasureOptions{Runs: 1})
+	// Wall noise on loaded CI hosts can exceed any sane bound for runs
+	// this short; the determinism claim is the deterministic tier.
+	if g := Gate(fast, again, GateOptions{SkipWall: true}); !g.Pass {
+		var sb strings.Builder
+		g.WriteText(&sb)
+		t.Fatalf("same kernel measured twice fails the gate:\n%s", sb.String())
+	}
+
+	slow, err := Measure(mc, sim.Compiled, "dot64", readKernel(t, "fir_slow.s"), MeasureOptions{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Gate(fast, slow, GateOptions{SkipWall: true})
+	if g.Pass {
+		t.Fatal("de-optimized variant passed the gate")
+	}
+	names := map[string]bool{}
+	for _, c := range g.Failures() {
+		names[c.Metric] = true
+	}
+	if !names["cycles"] || !names["program_hash"] {
+		t.Errorf("gate failures = %v, want cycles and program_hash", names)
+	}
+}
+
+func TestRecordWriters(t *testing.T) {
+	mc := loadSimple16(t)
+	rec := measureDot(t, mc, MeasureOptions{Runs: 1, Note: "writer test"})
+	var text bytes.Buffer
+	if err := rec.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"simple16/dot64/compiled", "cycles 586", "coverage[", "ns/cycle", "writer test"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("record text missing %q:\n%s", want, text.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := rec.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back RunRecord
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Errorf("JSON round-trip breaks content address: %v", err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package perf implements the performance observatory of the golisa
+// simulators: canonical run records, an append-only content-addressed
+// ledger (.lperf), a two-tier regression gate and trend reports.
+//
+// The paper's headline claim is quantitative — compiled simulation buys
+// orders of magnitude over interpretive — so performance is a correctness
+// property here, measured like one. Every measurement is a RunRecord with
+// two tiers of data:
+//
+//   - Deterministic counters (cycles, CPI, per-cause stall breakdown from
+//     internal/analyze, model coverage from internal/cover). Two runs of
+//     the same model+program+engine must reproduce these exactly; the gate
+//     compares them byte for byte and any drift is a hard failure.
+//   - Calibrated wall clock (ns per simulated cycle, median of N timed
+//     passes with the measured spread). Inherently noisy; the gate
+//     compares medians under a noise-aware bound derived from the
+//     baseline's own spread plus a configurable threshold.
+//
+// Records are content-addressed (ID = SHA-256 of the canonical JSON) and
+// stamped with the build/host fingerprint (internal/buildinfo), so ledger
+// entries stay attributable and re-appends deduplicate.
+package perf
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"golisa/internal/analyze"
+	"golisa/internal/buildinfo"
+	"golisa/internal/cover"
+)
+
+// Schema is the RunRecord wire version, bumped on incompatible shape
+// changes so old ledgers stay readable knowingly.
+const Schema = 1
+
+// Counters is the deterministic tier of a record: identical runs must
+// reproduce every field exactly.
+type Counters struct {
+	// Cycles is the control-step count of the run.
+	Cycles uint64 `json:"cycles"`
+	// Dispatches, IssueCycles, IdleCycles and CPI come from the hazard
+	// analyzer's cycle model (issue + Σ penalty + other + idle == cycles).
+	Dispatches  uint64  `json:"dispatches,omitempty"`
+	IssueCycles uint64  `json:"issue_cycles,omitempty"`
+	IdleCycles  uint64  `json:"idle_cycles,omitempty"`
+	CPI         float64 `json:"cpi,omitempty"`
+	// Penalty is the per-cause stall breakdown in penalty cycles
+	// (trace.Cause names, plus "other" for unattributed penalty).
+	Penalty map[string]uint64 `json:"penalty,omitempty"`
+	Halted  bool              `json:"halted"`
+}
+
+// CoverageStat is one model-coverage domain of the measured run.
+type CoverageStat struct {
+	Domain  string `json:"domain"`
+	Covered int    `json:"covered"`
+	Total   int    `json:"total"`
+}
+
+// Pct returns the domain's coverage percentage (100 for empty domains).
+func (c CoverageStat) Pct() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return 100 * float64(c.Covered) / float64(c.Total)
+}
+
+// Wall is the calibrated wall-clock tier: nanoseconds per simulated cycle
+// over N timed passes. Runs preserves the per-pass values so a later
+// reader can re-derive any statistic; Spread is (max-min)/median, the
+// run-to-run noise the gate folds into its bound.
+type Wall struct {
+	Runs   []float64 `json:"ns_per_cycle_runs,omitempty"`
+	Median float64   `json:"ns_per_cycle,omitempty"`
+	Min    float64   `json:"min_ns_per_cycle,omitempty"`
+	Max    float64   `json:"max_ns_per_cycle,omitempty"`
+	Spread float64   `json:"spread,omitempty"`
+}
+
+// BatchStats carries the fleet's latency summary when the record measured
+// a whole batch instead of a single run.
+type BatchStats struct {
+	Jobs        int     `json:"jobs"`
+	Workers     int     `json:"workers"`
+	P50Ns       uint64  `json:"p50_ns"`
+	P90Ns       uint64  `json:"p90_ns"`
+	P99Ns       uint64  `json:"p99_ns"`
+	MaxNs       uint64  `json:"max_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Utilization float64 `json:"worker_utilization"`
+}
+
+// Env identifies what a record measured: the model and program (name plus
+// content hash, so renames and edits are distinguishable), the simulation
+// engine, and how the measurement ran.
+type Env struct {
+	Model       string
+	ModelHash   string
+	Program     string
+	ProgramHash string
+	Engine      string
+	Workers     int
+	Note        string
+	// Time is the measurement timestamp (RFC3339). Callers stamp it so
+	// tests can build byte-identical records.
+	Time string
+}
+
+// Key is the ledger's query key: records of one (model, program, engine)
+// triple form one comparable history.
+type Key struct {
+	Model   string `json:"model"`
+	Program string `json:"program"`
+	Engine  string `json:"engine"`
+}
+
+func (k Key) String() string { return k.Model + "/" + k.Program + "/" + k.Engine }
+
+// RunRecord is one canonical performance measurement.
+type RunRecord struct {
+	// ID is the content address: SHA-256 over the record's canonical JSON
+	// with ID itself blanked. Seal computes it; the ledger verifies it.
+	ID     string `json:"id"`
+	Schema int    `json:"schema"`
+	Time   string `json:"time,omitempty"`
+
+	Model       string `json:"model"`
+	ModelHash   string `json:"model_hash"`
+	Program     string `json:"program"`
+	ProgramHash string `json:"program_hash"`
+	// Engine is the simulation technique measured (sim.Mode string;
+	// fleet records append "/batch" since batch numbers are not
+	// comparable to single-run calibration).
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers,omitempty"`
+
+	Host buildinfo.Info `json:"host"`
+
+	Counters Counters       `json:"counters"`
+	Coverage []CoverageStat `json:"coverage,omitempty"`
+	Wall     Wall           `json:"wall"`
+	Batch    *BatchStats    `json:"batch,omitempty"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// New creates an unsealed record for env, stamped with the current
+// process's build/host fingerprint.
+func New(env Env) *RunRecord {
+	return &RunRecord{
+		Schema:      Schema,
+		Time:        env.Time,
+		Model:       env.Model,
+		ModelHash:   env.ModelHash,
+		Program:     env.Program,
+		ProgramHash: env.ProgramHash,
+		Engine:      env.Engine,
+		Workers:     env.Workers,
+		Note:        env.Note,
+		Host:        buildinfo.Get(),
+	}
+}
+
+// Key returns the record's ledger query key.
+func (r *RunRecord) Key() Key { return Key{r.Model, r.Program, r.Engine} }
+
+// SetCounters fills the deterministic tier from the hazard analyzer's
+// report: dispatch/issue/idle cycles, CPI, and the per-cause penalty
+// breakdown (every non-zero hazard bucket, "other" included; the "issue"
+// and "idle" buckets are carried in their own fields).
+func (r *RunRecord) SetCounters(steps uint64, halted bool, rep *analyze.Report) {
+	c := Counters{Cycles: steps, Halted: halted}
+	if rep != nil {
+		c.Dispatches = rep.Dispatches
+		c.IssueCycles = rep.IssueCycles
+		c.IdleCycles = rep.IdleCycles
+		c.CPI = rep.CPI
+		for _, b := range rep.Breakdown {
+			if b.Name == "issue" || b.Name == "idle" || b.Cycles == 0 {
+				continue
+			}
+			if c.Penalty == nil {
+				c.Penalty = map[string]uint64{}
+			}
+			c.Penalty[b.Name] = b.Cycles
+		}
+	}
+	r.Counters = c
+}
+
+// SetCoverage fills the coverage tier from a model-coverage snapshot.
+func (r *RunRecord) SetCoverage(snap *cover.Snapshot) {
+	if snap == nil {
+		return
+	}
+	r.Coverage = r.Coverage[:0]
+	for _, d := range snap.Domains {
+		r.Coverage = append(r.Coverage, CoverageStat{Domain: d.Name, Covered: d.Covered, Total: d.Total})
+	}
+}
+
+// SetWall fills the wall-clock tier from per-pass ns/cycle measurements.
+func (r *RunRecord) SetWall(nsPerCycle []float64) {
+	w := Wall{Runs: append([]float64(nil), nsPerCycle...)}
+	if len(w.Runs) > 0 {
+		sorted := append([]float64(nil), w.Runs...)
+		sort.Float64s(sorted)
+		w.Min = sorted[0]
+		w.Max = sorted[len(sorted)-1]
+		mid := len(sorted) / 2
+		if len(sorted)%2 == 1 {
+			w.Median = sorted[mid]
+		} else {
+			w.Median = (sorted[mid-1] + sorted[mid]) / 2
+		}
+		if w.Median > 0 {
+			w.Spread = (w.Max - w.Min) / w.Median
+		}
+	}
+	r.Wall = w
+}
+
+// ComputeID returns the record's content address without modifying it.
+func (r *RunRecord) ComputeID() string {
+	c := *r
+	c.ID = ""
+	data, err := json.Marshal(&c)
+	if err != nil {
+		// Marshaling a plain struct of scalars/maps/slices cannot fail.
+		panic(fmt.Sprintf("perf: marshal record: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}
+
+// Seal stamps the record's content address and returns the record.
+func (r *RunRecord) Seal() *RunRecord {
+	r.ID = r.ComputeID()
+	return r
+}
+
+// Verify recomputes the content address and errors on mismatch — the
+// ledger's integrity check against hand-edited entries.
+func (r *RunRecord) Verify() error {
+	if r.ID == "" {
+		return fmt.Errorf("perf: record %s has no id (not sealed)", r.Key())
+	}
+	if want := r.ComputeID(); r.ID != want {
+		return fmt.Errorf("perf: record %s id %.12s does not match its content (%.12s) — ledger edited by hand?",
+			r.Key(), r.ID, want)
+	}
+	return nil
+}
+
+// HashString returns the canonical short content hash perf uses for model
+// sources and assembled programs (first 16 hex chars of SHA-256).
+func HashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// HashProgram hashes an assembled program image (origin plus instruction
+// words), so formatting-only source edits do not change the identity.
+func HashProgram(origin uint64, words []uint64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "origin:%d;", origin)
+	for _, w := range words {
+		fmt.Fprintf(h, "%x;", w)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// WriteJSON writes the record as indented JSON.
+func (r *RunRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human-readable record summary.
+func (r *RunRecord) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "perf record %s", r.Key())
+	if r.ID != "" {
+		fmt.Fprintf(ew, " [%.12s]", r.ID)
+	}
+	fmt.Fprintln(ew)
+	fmt.Fprintf(ew, "  model %s (hash %s), program %s (hash %s)\n", r.Model, r.ModelHash, r.Program, r.ProgramHash)
+	if r.Time != "" {
+		fmt.Fprintf(ew, "  measured %s on %s\n", r.Time, r.Host.HostLine())
+	} else {
+		fmt.Fprintf(ew, "  host %s\n", r.Host.HostLine())
+	}
+	c := r.Counters
+	fmt.Fprintf(ew, "  cycles %d, dispatches %d, issue %d, idle %d, CPI %.3f, halted=%v\n",
+		c.Cycles, c.Dispatches, c.IssueCycles, c.IdleCycles, c.CPI, c.Halted)
+	for _, cause := range sortedCauses(c.Penalty) {
+		fmt.Fprintf(ew, "    penalty[%s] = %d cycles\n", cause, c.Penalty[cause])
+	}
+	for _, cs := range r.Coverage {
+		fmt.Fprintf(ew, "  coverage[%s] = %d/%d (%.1f%%)\n", cs.Domain, cs.Covered, cs.Total, cs.Pct())
+	}
+	if len(r.Wall.Runs) > 0 {
+		fmt.Fprintf(ew, "  wall %.1f ns/cycle (median of %d; min %.1f, max %.1f, spread %.1f%%)\n",
+			r.Wall.Median, len(r.Wall.Runs), r.Wall.Min, r.Wall.Max, 100*r.Wall.Spread)
+	}
+	if b := r.Batch; b != nil {
+		fmt.Fprintf(ew, "  batch %d jobs on %d workers: p50 %s p90 %s p99 %s max %s; %.1f jobs/sec, %.0f%% utilization\n",
+			b.Jobs, b.Workers, time.Duration(b.P50Ns), time.Duration(b.P90Ns),
+			time.Duration(b.P99Ns), time.Duration(b.MaxNs), b.JobsPerSec, 100*b.Utilization)
+	}
+	if r.Note != "" {
+		fmt.Fprintf(ew, "  note: %s\n", r.Note)
+	}
+	return ew.err
+}
+
+// sortedCauses returns a penalty map's keys in stable order.
+func sortedCauses(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error so writers can check once.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}

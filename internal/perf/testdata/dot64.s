@@ -1,0 +1,19 @@
+; dot64: 64-element dot product on simple16 — the repo's calibration
+; kernel (the same source BenchmarkObserverOverhead runs).
+        LDI B1, 1
+        LDI A8, 64        ; count
+        LDI A4, 0         ; &a
+        LDI A5, 100       ; &b
+        CLRACC
+loop:   LD  A6, A4, 0
+        LD  A7, A5, 0
+        ADD A4, A4, B1
+        MAC A6, A7
+        ADD A5, A5, B1
+        SUB A8, A8, B1
+        BNZ A8, loop
+        NOP
+        NOP
+        SAT A0
+        ST  A0, B0, 200
+        HALT

@@ -1,0 +1,45 @@
+; fir_slow: a deliberately de-optimized variant of examples/fir/prog/fir.s
+; (two injected NOP bubbles per inner-loop iteration, everything else
+; identical). Recording it under the same ledger name as the real FIR
+; injects a >10% cycle regression, which the CI perf-gate job asserts
+; `lisa-perf gate` catches with a per-metric explanation.
+start:  LDI B1, 1
+        LDI A9, 0
+        LDI A10, 32
+        LDI A3, 200
+outer:  CLRACC
+        LDI A8, 8
+        LDI A4, 0         ; &h[0]
+        LDI A5, 100       ; &x[0]
+        NOP
+        ADD A5, A5, A9    ; &x[n]
+inner:  LD  A6, A4, 0     ; h[k]   (1 load delay slot)
+        LD  A7, A5, 0     ; x[n+k]
+        NOP               ; injected bubble
+        ADD A4, A4, B1
+        MAC A6, A7
+        NOP               ; injected bubble
+        ADD A5, A5, B1
+        SUB A8, A8, B1
+        BNZ A8, inner
+        NOP               ; branch delay slot 1
+        NOP               ; branch delay slot 2
+        SAT A6
+        ST  A6, A3, 0     ; y[n]
+        ADD A3, A3, B1
+        ADD A9, A9, B1
+        SUB A10, A10, B1
+        BNZ A10, outer
+        NOP
+        NOP
+        LD  A6, A3, 0
+        NOP
+        MPY A7, A6, B1
+        AND A7, A7, A6
+        OR  A7, A7, A6
+        XOR A7, A7, A7
+        B   end
+        NOP               ; branch delay slot 1
+        NOP               ; branch delay slot 2
+        NOP               ; skipped by the branch
+end:    HALT

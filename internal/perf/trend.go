@@ -1,0 +1,222 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+)
+
+// TrendSeries is one metric's history across a key's ledger records,
+// oldest first.
+type TrendSeries struct {
+	Metric string    `json:"metric"`
+	Values []float64 `json:"values"`
+	First  float64   `json:"first"`
+	Last   float64   `json:"last"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// TrendKey is one (model, program, engine) triple's full history.
+type TrendKey struct {
+	Key     Key           `json:"key"`
+	Runs    int           `json:"runs"`
+	Times   []string      `json:"times,omitempty"`
+	Series  []TrendSeries `json:"series"`
+	LastID  string        `json:"last_id"`
+	LastRun string        `json:"last_run,omitempty"`
+}
+
+// TrendReport summarizes every key's metric history in a ledger.
+type TrendReport struct {
+	Keys []TrendKey `json:"keys"`
+}
+
+// Trend builds the report for every key matching filter (zero Key = all).
+func (l *Ledger) Trend(filter Key) *TrendReport {
+	rep := &TrendReport{}
+	for _, k := range l.Keys() {
+		if (filter.Model != "" && k.Model != filter.Model) ||
+			(filter.Program != "" && k.Program != filter.Program) ||
+			(filter.Engine != "" && k.Engine != filter.Engine) {
+			continue
+		}
+		recs := l.Query(k)
+		tk := TrendKey{Key: k, Runs: len(recs), LastID: recs[len(recs)-1].ID, LastRun: recs[len(recs)-1].Time}
+		for _, r := range recs {
+			tk.Times = append(tk.Times, r.Time)
+		}
+		pick := func(metric string, get func(*RunRecord) (float64, bool)) {
+			s := TrendSeries{Metric: metric}
+			for _, r := range recs {
+				if v, ok := get(r); ok {
+					s.Values = append(s.Values, v)
+				}
+			}
+			if len(s.Values) == 0 {
+				return
+			}
+			s.First, s.Last = s.Values[0], s.Values[len(s.Values)-1]
+			s.Min, s.Max = s.Values[0], s.Values[0]
+			for _, v := range s.Values {
+				if v < s.Min {
+					s.Min = v
+				}
+				if v > s.Max {
+					s.Max = v
+				}
+			}
+			tk.Series = append(tk.Series, s)
+		}
+		pick("cycles", func(r *RunRecord) (float64, bool) { return float64(r.Counters.Cycles), true })
+		pick("cpi", func(r *RunRecord) (float64, bool) { return r.Counters.CPI, r.Counters.CPI != 0 })
+		pick("wall_ns_per_cycle", func(r *RunRecord) (float64, bool) { return r.Wall.Median, len(r.Wall.Runs) > 0 })
+		pick("penalty_cycles", func(r *RunRecord) (float64, bool) {
+			var sum uint64
+			for _, v := range r.Counters.Penalty {
+				sum += v
+			}
+			return float64(sum), true
+		})
+		pick("jobs_per_sec", func(r *RunRecord) (float64, bool) {
+			if r.Batch == nil {
+				return 0, false
+			}
+			return r.Batch.JobsPerSec, true
+		})
+		rep.Keys = append(rep.Keys, tk)
+	}
+	return rep
+}
+
+// sparkRunes are the eight sparkline levels, low to high.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a unicode sparkline scaled to their range.
+// A flat series renders as all-mid; empty renders empty.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// WriteText writes the trend report with one sparkline row per metric.
+func (t *TrendReport) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	if len(t.Keys) == 0 {
+		fmt.Fprintln(ew, "perf trend: ledger has no matching records")
+		return ew.err
+	}
+	for _, tk := range t.Keys {
+		fmt.Fprintf(ew, "%s  (%d runs", tk.Key, tk.Runs)
+		if tk.LastRun != "" {
+			fmt.Fprintf(ew, ", last %s", tk.LastRun)
+		}
+		fmt.Fprintln(ew, ")")
+		for _, s := range tk.Series {
+			delta := ""
+			if s.First != 0 && s.Last != s.First {
+				delta = fmt.Sprintf("  (%+.1f%%)", 100*(s.Last-s.First)/s.First)
+			}
+			fmt.Fprintf(ew, "  %-18s %s  %s -> %s%s\n",
+				s.Metric, Sparkline(s.Values), trimFloat(s.First), trimFloat(s.Last), delta)
+		}
+	}
+	return ew.err
+}
+
+// WriteJSON writes the trend report as indented JSON.
+func (t *TrendReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// trimFloat renders integral values without a fraction.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// trendHTML is the self-contained trend page: one inline-SVG sparkline
+// per metric, same visual family as the analyzer and coverage reports.
+var trendHTML = template.Must(template.New("trend").Funcs(template.FuncMap{
+	"points": svgPoints,
+	"trim":   trimFloat,
+}).Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>perf trend</title>
+<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin: 1.5rem 0 .3rem; font-family: monospace; }
+table { border-collapse: collapse; }
+td, th { padding: .25rem .75rem; text-align: left; border-bottom: 1px solid #eee; }
+svg { vertical-align: middle; }
+polyline { fill: none; stroke: #2a7ae2; stroke-width: 1.5; }
+.delta-up { color: #b00; } .delta-down { color: #080; }
+</style></head><body>
+<h1>perf trend</h1>
+{{range .Keys}}<h2>{{.Key.Model}}/{{.Key.Program}}/{{.Key.Engine}} <small>({{.Runs}} runs)</small></h2>
+<table><tr><th>metric</th><th>history</th><th>first</th><th>last</th><th>range</th></tr>
+{{range .Series}}<tr><td>{{.Metric}}</td>
+<td><svg width="160" height="28" viewBox="0 0 160 28"><polyline points="{{points .Values}}"/></svg></td>
+<td>{{trim .First}}</td><td>{{trim .Last}}</td><td>{{trim .Min}} – {{trim .Max}}</td></tr>
+{{end}}</table>
+{{end}}</body></html>
+`))
+
+// svgPoints maps a series onto a 160×28 viewBox polyline.
+func svgPoints(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	const w, h, pad = 160.0, 28.0, 3.0
+	var sb strings.Builder
+	for i, v := range values {
+		x := pad
+		if len(values) > 1 {
+			x = pad + (w-2*pad)*float64(i)/float64(len(values)-1)
+		}
+		y := h / 2
+		if hi > lo {
+			y = h - pad - (h-2*pad)*(v-lo)/(hi-lo)
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f ", x, y)
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// WriteHTML writes the self-contained HTML trend page.
+func (t *TrendReport) WriteHTML(w io.Writer) error {
+	return trendHTML.Execute(w, t)
+}

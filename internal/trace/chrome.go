@@ -233,6 +233,17 @@ func (c *ChromeTracer) OnResourceWrite(string, uint64) {}
 // OnMemWrite implements Observer.
 func (c *ChromeTracer) OnMemWrite(string, uint64, uint64) {}
 
+// AddCounter appends a counter sample ("ph":"C") at ts (control steps,
+// i.e. µs of trace time). values becomes the counter's series — multiple
+// keys render as stacked series on one counter track. This is the seam
+// external producers (the hazard analyzer's occupancy timelines) use to
+// add their curves to the same trace-viewer view as the spans.
+func (c *ChromeTracer) AddCounter(name string, ts float64, values map[string]any) {
+	c.events = append(c.events, chromeEvent{
+		Name: name, Ph: "C", Ts: ts, Pid: chromePid, Tid: 0, Args: values,
+	})
+}
+
 // Len returns the number of buffered trace events.
 func (c *ChromeTracer) Len() int { return len(c.events) }
 
