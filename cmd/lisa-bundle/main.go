@@ -1,0 +1,108 @@
+// lisa-bundle is the one-command diagnostic capture: it runs a program
+// with the full observability stack attached (flight recorder, cycle
+// profiler, hazard analyzer, coverage collector, perf record, trace span
+// tree) and writes everything as a single tar.gz — the artifact to
+// attach to a bug report or hand to a teammate, stamped with the run's
+// TraceID so it joins the streams, ledgers and timelines the same run
+// produced.
+//
+// Usage:
+//
+//	lisa-bundle -model simple16 -o fir.bundle.tar.gz fir.s   # capture
+//	lisa-bundle inspect fir.bundle.tar.gz                    # pretty-print
+//
+// Capture joins LISA_TRACEPARENT when a parent process set one, so the
+// bundle shares the pipeline's TraceID. Inspect needs no model or
+// simulator: it renders the manifest, the span tree and the perf record
+// from the archive alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"golisa/internal/bundle"
+	"golisa/internal/cli"
+	"golisa/internal/otrace"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		inspect(os.Args[2:])
+		return
+	}
+	capture()
+}
+
+// inspect pretty-prints one or more bundle archives.
+func inspect(paths []string) {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	cli.AddVersionFlag(fs)
+	cli.Fail(fs.Parse(paths))
+	cli.HandleVersion()
+	if fs.NArg() == 0 {
+		cli.Usage("inspect <bundle.tar.gz>...")
+	}
+	for i, path := range fs.Args() {
+		if i > 0 {
+			fmt.Println()
+		}
+		f, err := os.Open(path)
+		cli.Fail(err)
+		bn, err := bundle.Read(f)
+		cli.Fail(f.Close())
+		cli.Fail(err)
+		cli.Fail(bn.WriteInspect(os.Stdout))
+	}
+}
+
+// capture runs the program with everything attached and writes the
+// bundle.
+func capture() {
+	var common cli.Common
+	common.Register(flag.CommandLine)
+	out := flag.String("o", "lisa-bundle.tar.gz", "output bundle file")
+	flight := flag.Int("flight", 256, "flight-recorder ring size captured into the bundle")
+	flag.Parse()
+	cli.HandleVersion()
+	if flag.NArg() != 1 {
+		cli.Usage("[-model m] [-mode m] [-o out.tar.gz] prog.s  |  inspect <bundle.tar.gz>...")
+	}
+
+	tr := otrace.FromEnv("lisa-bundle capture")
+
+	m, mode := common.Load()
+	progPath := flag.Arg(0)
+	src, err := os.ReadFile(progPath)
+	cli.Fail(err)
+	asmSpan := tr.Start(nil, "assemble")
+	s, prog, err := m.AssembleAndLoad(string(src), mode)
+	asmSpan.End()
+	cli.Fail(err)
+	asmSpan.SetAttr("words", len(prog.Words))
+	s.OnPrint = func(msg string) { fmt.Println(msg) }
+
+	// Everything on: the bundle is only as useful as what was attached.
+	obs := cli.Obs{FlightN: *flight, Bundle: *out}
+	sess := obs.Setup(tr, m, s, prog, progPath, nil)
+
+	var n uint64
+	runStart := time.Now()
+	runSpan := tr.Start(nil, "run")
+	err = sess.Protect(func() error {
+		var rerr error
+		n, rerr = s.Run(common.Max)
+		return rerr
+	})
+	runSpan.SetAttr("steps", n)
+	runSpan.End()
+	runElapsed := time.Since(runStart)
+	sess.DumpFlightOnError(err)
+	cli.Fail(err)
+
+	fmt.Printf("; %d control steps (%s mode), halted=%v; trace %s\n", n, mode, s.Halted(), tr.ID())
+	sess.WriteBundle(n, runElapsed)
+	sess.Close()
+}

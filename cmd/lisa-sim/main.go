@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"golisa/internal/cli"
+	"golisa/internal/otrace"
 	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
@@ -68,19 +69,28 @@ func main() {
 		m, mode := common.Load()
 		batch.Perf = obs.Perf
 		batch.PerfLedger = obs.PerfLedger
-		cli.Fail(batch.Run(m, mode, common.Max))
+		cli.Fail(batch.Run(otrace.FromEnv("lisa-sim batch"), m, mode, common.Max))
 		return
 	}
 	if flag.NArg() != 1 {
 		cli.Usage("[-model m] [-mode m] prog.s")
 	}
 
+	// One trace for the whole invocation (joined from LISA_TRACEPARENT
+	// when a parent process set one); the assemble and run phases are its
+	// child spans, and every sink — perf record, bundle, live server —
+	// carries its TraceID.
+	tr := otrace.FromEnv("lisa-sim run")
+
 	m, mode := common.Load()
 	progPath := flag.Arg(0)
 	src, err := os.ReadFile(progPath)
 	cli.Fail(err)
+	asmSpan := tr.Start(nil, "assemble")
 	s, prog, err := m.AssembleAndLoad(string(src), mode)
+	asmSpan.End()
 	cli.Fail(err)
+	asmSpan.SetAttr("words", len(prog.Words))
 	s.OnPrint = func(msg string) { fmt.Println(msg) }
 
 	var extra []trace.Observer
@@ -93,7 +103,7 @@ func main() {
 	if *metricsOut != "" {
 		metrics = trace.NewMetrics()
 	}
-	sess := obs.Setup(m, s, prog, progPath, metrics, extra...)
+	sess := obs.Setup(tr, m, s, prog, progPath, metrics, extra...)
 
 	if *vcdOut != "" {
 		vcdFile, err := os.Create(*vcdOut)
@@ -106,17 +116,20 @@ func main() {
 
 	var n uint64
 	runStart := time.Now()
+	runSpan := tr.Start(nil, "run")
 	err = sess.Protect(func() error {
 		var rerr error
 		n, rerr = s.Run(common.Max)
 		return rerr
 	})
+	runSpan.SetAttr("steps", n)
+	runSpan.End()
 	runElapsed := time.Since(runStart)
 	sess.DumpFlightOnError(err)
 	cli.Fail(err)
 	p := s.Profile()
 	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
-	fmt.Printf("; %d control steps (%s mode), halted=%v\n", n, mode, s.Halted())
+	fmt.Printf("; %d control steps (%s mode), halted=%v; trace %s\n", n, mode, s.Halted(), tr.ID())
 	fmt.Printf("; %d decodes, %d decode-cache hits, %d activations\n",
 		p.Decodes, p.DecodeHits, p.Activations)
 	fmt.Printf("; %d stalls, %d flushes, %d shifts, %d packets retired\n",
@@ -169,6 +182,7 @@ func main() {
 	}
 
 	sess.WritePerf(n, runElapsed)
+	sess.WriteBundle(n, runElapsed)
 	sess.Close()
 	sess.Wait()
 }

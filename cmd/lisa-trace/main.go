@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"golisa/internal/cli"
+	"golisa/internal/otrace"
 	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
@@ -53,16 +54,21 @@ func main() {
 		base = strings.TrimSuffix(progPath, ".s")
 	}
 
+	tr := otrace.FromEnv("lisa-trace run")
+
 	m, mode := common.Load()
 	src, err := os.ReadFile(progPath)
 	cli.Fail(err)
+	asmSpan := tr.Start(nil, "assemble")
 	s, prog, err := m.AssembleAndLoad(string(src), mode)
+	asmSpan.End()
 	cli.Fail(err)
+	asmSpan.SetAttr("words", len(prog.Words))
 	s.OnPrint = func(msg string) { fmt.Println(msg) }
 
 	chrome := trace.NewChromeTracer()
 	metrics := trace.NewMetrics()
-	sess := obs.Setup(m, s, prog, progPath, metrics, chrome)
+	sess := obs.Setup(tr, m, s, prog, progPath, metrics, chrome)
 
 	if *withVCD {
 		vcdFile, err := os.Create(base + ".vcd")
@@ -74,7 +80,10 @@ func main() {
 	}
 
 	runStart := time.Now()
+	runSpan := tr.Start(nil, "run")
 	n, err := s.Run(common.Max)
+	runSpan.SetAttr("steps", n)
+	runSpan.End()
 	runElapsed := time.Since(runStart)
 	sess.DumpFlightOnError(err)
 	cli.Fail(err)
@@ -97,12 +106,13 @@ func main() {
 
 	p := s.Profile()
 	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
-	fmt.Printf("; %d control steps (%s mode), halted=%v, %d trace events\n",
-		n, mode, s.Halted(), chrome.Len())
+	fmt.Printf("; %d control steps (%s mode), halted=%v, %d trace events; trace %s\n",
+		n, mode, s.Halted(), chrome.Len(), tr.ID())
 	fmt.Printf("; %d decodes (%d cached), %d activations, %d stalls, %d flushes, %d retired\n",
 		p.Decodes, p.DecodeHits, p.Activations, p.Stalls, p.Flushes, p.Retired)
 
 	sess.WritePerf(n, runElapsed)
+	sess.WriteBundle(n, runElapsed)
 	sess.Close()
 	sess.Wait()
 }

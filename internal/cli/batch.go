@@ -10,6 +10,7 @@ import (
 
 	"golisa/internal/core"
 	"golisa/internal/fleet"
+	"golisa/internal/otrace"
 	"golisa/internal/perf"
 	"golisa/internal/sim"
 )
@@ -48,12 +49,13 @@ func (b *Batch) Register(fs *flag.FlagSet) {
 	fs.StringVar(&b.MetricsOut, "batch-metrics", "", "write fleet metrics (Prometheus text) to this file after the batch")
 }
 
-// Run executes the batch named by -jobs. The command line supplies the
-// defaults (model, mode, step cap); a JSON manifest's own model, mode,
-// workers and max fields override them, and -workers in turn overrides the
-// manifest. Per-job failures are reported in the summary and the returned
-// error, not fatally.
-func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
+// Run executes the batch named by -jobs under the given trace (nil mints
+// a fresh one). The command line supplies the defaults (model, mode, step
+// cap); a JSON manifest's own model, mode, workers and max fields
+// override them, and -workers in turn overrides the manifest. Per-job
+// failures are reported in the summary and the returned error, not
+// fatally.
+func (b *Batch) Run(tr *otrace.Trace, mc *core.Machine, mode sim.Mode, max uint64) error {
 	man, err := fleet.LoadManifest(b.Jobs)
 	if err != nil {
 		return err
@@ -74,12 +76,19 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 		opt.MaxSteps = max
 	}
 
+	// The whole batch runs under one trace: every telemetry sink, perf
+	// record and timeline lane below carries its TraceID.
+	if tr == nil {
+		tr = otrace.New(Tool + " batch")
+	}
+	opt.Trace = tr
+
 	// Telemetry sinks requested by the flags all ride the same spans.
 	var teles []fleet.Telemetry
-	var chrome *fleet.ChromeSpans
 	if b.TraceOut != "" {
-		chrome = fleet.NewChromeSpans()
-		teles = append(teles, chrome)
+		// Wired through Options.Chrome (not the telemetry fanout) so the
+		// fleet can merge per-job simulator lanes into the batch timeline.
+		opt.Chrome = fleet.NewChromeSpans()
 	}
 	var fm *fleet.Metrics
 	if b.MetricsOut != "" {
@@ -104,6 +113,7 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 	if !b.Progress {
 		fmt.Printf("; batch %s: %d jobs on %d workers, model %s, %s mode\n",
 			b.Jobs, sum.Jobs, sum.Workers, sum.Model, sum.Mode)
+		fmt.Printf("; trace %s\n", sum.TraceID)
 		fmt.Printf("; artifact: %d prewarm decodes, %d compiles, %d cached words; jobs re-did %d decodes, %d compiles\n",
 			sum.PrewarmDecodes, sum.ArtifactCompiles, sum.CachedWords, sum.JobDecodes, sum.JobCompiles)
 		for _, r := range sum.Results {
@@ -155,8 +165,8 @@ func (b *Batch) Run(mc *core.Machine, mode sim.Mode, max uint64) error {
 		}
 	}
 
-	if chrome != nil {
-		if err := writeFile(b.TraceOut, chrome.WriteJSON); err != nil {
+	if opt.Chrome != nil {
+		if err := writeFile(b.TraceOut, opt.Chrome.WriteJSON); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,8 @@
 package cli
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
@@ -8,7 +10,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"golisa/internal/bundle"
+	"golisa/internal/otrace"
 	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
@@ -76,7 +81,10 @@ func TestObsSetup(t *testing.T) {
 		t.Fatal(err)
 	}
 	metrics := trace.NewMetrics()
-	sess := o.Setup(m, s, prog, "t.s", metrics)
+	sess := o.Setup(nil, m, s, prog, "t.s", metrics)
+	if sess.Trace == nil {
+		t.Fatal("Setup minted no trace")
+	}
 	if sess.Flight == nil || sess.Profiler == nil || sess.Server == nil || sess.Metrics != metrics {
 		t.Fatalf("incomplete session: %+v", sess)
 	}
@@ -120,7 +128,7 @@ func TestObsRecordSetup(t *testing.T) {
 	if err := fs.Parse([]string{"-record", path, "-record-every", "4", "-flight", "0"}); err != nil {
 		t.Fatal(err)
 	}
-	sess := o.Setup(m, s, prog, "t.s", nil)
+	sess := o.Setup(nil, m, s, prog, "t.s", nil)
 	if sess.Recorder == nil {
 		t.Fatal("no recorder in session")
 	}
@@ -143,6 +151,88 @@ func TestObsRecordSetup(t *testing.T) {
 	}
 	if _, err := rp.Verify(); err != nil {
 		t.Fatalf("recorded session does not verify: %v", err)
+	}
+}
+
+// TestObsBundle runs a -bundle session end to end: the written tar.gz
+// reads back with every expected section, the manifest and the span tree
+// carry the session's TraceID, and the bundled perf record carries the
+// same identity — the bundle joins the run's other sinks.
+func TestObsBundle(t *testing.T) {
+	m, mode := (&Common{Model: "simple16", Mode: "compiled", Max: 1000}).Load()
+	s, prog, err := m.AssembleAndLoad("LDI A1, 7\nHALT\n", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.tar.gz")
+	var o Obs
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o.Register(fs)
+	if err := fs.Parse([]string{"-bundle", path, "-flight", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := otrace.New("bundle test")
+	sess := o.Setup(tr, m, s, prog, "t.s", nil)
+	if sess.Analyzer == nil || sess.Cover == nil || sess.Profiler == nil {
+		t.Fatal("-bundle did not arm the analyzer/coverage/profiler stack")
+	}
+	n, err := s.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.WriteBundle(n, time.Millisecond)
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bn, err := bundle.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn.Meta.TraceID != tr.ID().String() {
+		t.Errorf("bundle TraceID = %s, want %s", bn.Meta.TraceID, tr.ID())
+	}
+	if bn.Meta.Model != "simple16" || bn.Meta.Program != "t" {
+		t.Errorf("bundle meta = %+v", bn.Meta)
+	}
+	for _, want := range []string{
+		bundle.SpansFile, bundle.FlightFile, bundle.ProfileFile,
+		bundle.AnalyzeFile, bundle.CoverageFile, bundle.PerfFile,
+		bundle.BuildFile, bundle.ConfigFile,
+	} {
+		if bn.Section(want) == nil {
+			t.Errorf("bundle missing section %s (have %v)", want, bn.Order)
+		}
+	}
+	doc, err := otrace.ReadDoc(bytes.NewReader(bn.Section(bundle.SpansFile)))
+	if err != nil {
+		t.Fatalf("spans.json: %v", err)
+	}
+	if doc.TraceID != tr.ID().String() {
+		t.Errorf("spans.json TraceID = %s, want %s", doc.TraceID, tr.ID())
+	}
+	var rec struct {
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+	}
+	if err := json.Unmarshal(bn.Section(bundle.PerfFile), &rec); err != nil {
+		t.Fatalf("perf.json: %v", err)
+	}
+	if rec.TraceID != tr.ID().String() || rec.SpanID != tr.Root().ID().String() {
+		t.Errorf("perf record identity (%s, %s), want (%s, %s)",
+			rec.TraceID, rec.SpanID, tr.ID(), tr.Root().ID())
+	}
+	// And the offline inspector renders it.
+	var insp strings.Builder
+	if err := bn.WriteInspect(&insp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trace " + tr.ID().String(), "spans.json", "perf.json"} {
+		if !strings.Contains(insp.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, insp.String())
+		}
 	}
 }
 

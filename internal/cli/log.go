@@ -2,8 +2,10 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -11,29 +13,54 @@ import (
 // status or error report (as opposed to the tools' primary output) goes
 // through one log/slog logger on stderr, so service deployments get
 // parseable logs. The default handler is human-oriented key=value text;
-// -log-json switches to JSON lines.
+// -log-json switches to JSON lines and -log-level sets the threshold
+// (the debug server's per-request access log rides the same logger, so
+// the two flags govern it too).
 
 var (
-	logJSON bool
-	logOnce sync.Once
-	logger  *slog.Logger
+	logJSON  bool
+	logLevel string
+	logOnce  sync.Once
+	logger   *slog.Logger
 )
 
 // RegisterLogFlags defines the logging flags on fs. Common.Register
-// calls it, so every simulating tool exposes -log-json.
+// calls it, so every simulating tool exposes -log-json and -log-level.
 func RegisterLogFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&logJSON, "log-json", false, "emit diagnostics as JSON log lines (log/slog) instead of key=value text")
+	fs.StringVar(&logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+}
+
+// ParseLogLevel maps a -log-level value to its slog level.
+func ParseLogLevel(name string) (slog.Level, error) {
+	switch strings.ToLower(name) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", name)
+	}
 }
 
 // Log returns the tool's structured logger, built on first use (after
 // flag parsing) and tagged with the tool name.
 func Log() *slog.Logger {
 	logOnce.Do(func() {
+		level, err := ParseLogLevel(logLevel)
+		if err != nil {
+			Fail(err)
+		}
+		opts := &slog.HandlerOptions{Level: level}
 		var h slog.Handler
 		if logJSON {
-			h = slog.NewJSONHandler(os.Stderr, nil)
+			h = slog.NewJSONHandler(os.Stderr, opts)
 		} else {
-			h = slog.NewTextHandler(os.Stderr, nil)
+			h = slog.NewTextHandler(os.Stderr, opts)
 		}
 		logger = slog.New(h).With("tool", Tool)
 	})

@@ -1,8 +1,10 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -12,10 +14,13 @@ import (
 
 	"golisa/internal/analyze"
 	"golisa/internal/asm"
+	"golisa/internal/buildinfo"
+	"golisa/internal/bundle"
 	"golisa/internal/core"
 	"golisa/internal/cover"
 	"golisa/internal/debug"
 	"golisa/internal/fleet"
+	"golisa/internal/otrace"
 	"golisa/internal/perf"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
@@ -43,6 +48,7 @@ type Obs struct {
 	CovHTML     string
 	Perf        bool
 	PerfLedger  string
+	Bundle      string
 }
 
 // Register defines the flags on fs.
@@ -63,21 +69,23 @@ func (o *Obs) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.CovHTML, "cov-html", "", "write the model-coverage report as an HTML heatmap to this file")
 	fs.BoolVar(&o.Perf, "perf", false, "print a perf-observatory run record (deterministic counters, coverage, wall time) after the run")
 	fs.StringVar(&o.PerfLedger, "perf-ledger", "", "append the run record to this .lperf ledger (implies -perf instrumentation)")
+	fs.StringVar(&o.Bundle, "bundle", "", "write a diagnostic bundle (tar.gz: spans, flight, profile, analyze, coverage, perf, buildinfo, config) to this file after the run")
 }
 
 // wantPerf reports whether any flag asked for a perf run record.
 func (o *Obs) wantPerf() bool { return o.Perf || o.PerfLedger != "" }
 
 // wantAnalyzer reports whether any flag asked for hazard attribution (a
-// perf record's deterministic tier is built from the analyzer's report).
+// perf record's deterministic tier is built from the analyzer's report;
+// a bundle captures the report as a section).
 func (o *Obs) wantAnalyzer() bool {
-	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != "" || o.wantPerf()
+	return o.Analyze || o.AnalyzeJSON != "" || o.AnalyzeHTML != "" || o.HTTPAddr != "" || o.wantPerf() || o.Bundle != ""
 }
 
 // wantCover reports whether any flag asked for model coverage (the live
 // server always gets a collector so /coverage works).
 func (o *Obs) wantCover() bool {
-	return o.Cov || o.CovJSON != "" || o.CovHTML != "" || o.HTTPAddr != "" || o.wantPerf()
+	return o.Cov || o.CovJSON != "" || o.CovHTML != "" || o.HTTPAddr != "" || o.wantPerf() || o.Bundle != ""
 }
 
 // Session is one run's observability stack, assembled by Obs.Setup.
@@ -89,6 +97,9 @@ type Session struct {
 	Analyzer *analyze.Analyzer
 	Cover    *cover.Collector
 	Server   *debug.Server
+	// Trace is the run's trace context (shared with every sink: perf
+	// records, bundles, the live server's batch endpoints).
+	Trace *otrace.Trace
 
 	obs  Obs
 	srvL net.Listener
@@ -99,18 +110,24 @@ type Session struct {
 	sim      *sim.Simulator
 	prog     *asm.Program
 	progName string
+	progPath string
 }
 
 // Setup builds the observers requested by the flags, attaches them to the
 // simulator (after program load, so load-time writes stay out of the
-// event stream), and starts the live server when -http is set. metrics
-// may be nil (one is created if the live server needs it); extra
-// observers join the fanout.
-func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, source string, metrics *trace.Metrics, extra ...trace.Observer) *Session {
+// event stream), and starts the live server when -http is set. tr is the
+// run's trace (NewRunTrace; nil mints a fresh one); metrics may be nil
+// (one is created if the live server needs it); extra observers join the
+// fanout.
+func (o *Obs) Setup(tr *otrace.Trace, mc *core.Machine, s *sim.Simulator, prog *asm.Program, source string, metrics *trace.Metrics, extra ...trace.Observer) *Session {
+	if tr == nil {
+		tr = otrace.New(Tool)
+	}
 	sess := &Session{
-		Metrics: metrics, obs: *o,
+		Metrics: metrics, obs: *o, Trace: tr,
 		mc: mc, sim: s, prog: prog,
 		progName: strings.TrimSuffix(filepath.Base(source), filepath.Ext(source)),
+		progPath: source,
 	}
 	var observers []trace.Observer
 	observers = append(observers, extra...)
@@ -121,7 +138,7 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 		sess.Flight = trace.NewFlight(o.FlightN)
 		observers = append(observers, sess.Flight)
 	}
-	if o.ProfileOut != "" || o.FoldedOut != "" || o.Top > 0 || o.HTTPAddr != "" {
+	if o.ProfileOut != "" || o.FoldedOut != "" || o.Top > 0 || o.HTTPAddr != "" || o.Bundle != "" {
 		dis, err := mc.NewDisassembler()
 		Fail(err)
 		sess.Profiler = profile.New(profile.Options{
@@ -167,6 +184,12 @@ func (o *Obs) Setup(mc *core.Machine, s *sim.Simulator, prog *asm.Program, sourc
 			Batch:        &fleet.Service{Machine: mc, Mode: s.Mode(), Telemetry: fm},
 			BatchMetrics: fm,
 			StartPaused:  o.HTTPPaused,
+			Log:          Log(),
+			// /bundle runs under the controller funnel, so the mid-run
+			// capture sees a consistent step boundary (no wall tier).
+			Bundle: func() (*bundle.Builder, error) {
+				return sess.BuildBundle(sess.sim.Step(), 0), nil
+			},
 		})
 		observers = append(observers, sess.Server.Attach())
 		l, err := net.Listen("tcp", o.HTTPAddr)
@@ -195,6 +218,8 @@ func (sess *Session) PerfRecord() *perf.RunRecord {
 		Workers:     1,
 		Note:        "observed run (observers attached); wall time is not calibrated — use lisa-perf measure for calibration",
 		Time:        time.Now().UTC().Format(time.RFC3339),
+		TraceID:     sess.Trace.ID().String(),
+		SpanID:      sess.Trace.Root().ID().String(),
 	})
 	var rep *analyze.Report
 	if sess.Analyzer != nil {
@@ -229,6 +254,86 @@ func (sess *Session) WritePerf(steps uint64, elapsed time.Duration) {
 			fmt.Printf("; appended perf record %.12s to %s\n", rec.ID, sess.obs.PerfLedger)
 		}
 	}
+}
+
+// BuildBundle captures the session's diagnostic bundle: every attached
+// observer's current view plus the build/host fingerprint and the
+// invocation config, all stamped with the run's trace identity. Called
+// after the run by WriteBundle (with the measured wall time) and mid-run
+// by the live server's /bundle endpoint (under the controller funnel,
+// with no wall tier). Sections whose capture fails are skipped with a
+// warning — a partial bundle beats no bundle during an incident.
+func (sess *Session) BuildBundle(steps uint64, elapsed time.Duration) *bundle.Builder {
+	b := bundle.New(bundle.Meta{
+		Tool:        Tool,
+		Model:       sess.mc.Model.Name,
+		ModelHash:   perf.HashString(sess.mc.Source),
+		Program:     sess.progName,
+		ProgramHash: perf.HashProgram(sess.prog.Origin, sess.prog.Words),
+		Mode:        sess.sim.Mode().String(),
+		TraceID:     sess.Trace.ID().String(),
+		Traceparent: sess.Trace.Context().Traceparent(),
+	})
+	capture := func(name string, emit func(io.Writer) error) {
+		if err := b.AddFunc(name, emit); err != nil {
+			Log().Warn("bundle section skipped", "section", name, "err", err)
+		}
+	}
+	capture(bundle.SpansFile, sess.Trace.WriteJSON)
+	if sess.Flight != nil {
+		capture(bundle.FlightFile, sess.Flight.Dump)
+	}
+	if sess.Profiler != nil {
+		capture(bundle.ProfileFile, sess.Profiler.WritePprof)
+	}
+	if sess.Analyzer != nil {
+		capture(bundle.AnalyzeFile, sess.Analyzer.Report().WriteJSON)
+	}
+	if sess.Cover != nil {
+		if rep, err := sess.Cover.Map().Resolve(sess.Cover.Snapshot()); err == nil {
+			capture(bundle.CoverageFile, rep.WriteJSON)
+		} else {
+			Log().Warn("bundle section skipped", "section", bundle.CoverageFile, "err", err)
+		}
+	}
+	rec := sess.PerfRecord()
+	if steps > 0 && elapsed > 0 {
+		rec.SetWall([]float64{float64(elapsed.Nanoseconds()) / float64(steps)})
+		rec.Seal()
+	}
+	capture(bundle.PerfFile, rec.WriteJSON)
+	capture(bundle.BuildFile, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(buildinfo.Get())
+	})
+	capture(bundle.ConfigFile, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"argv":    os.Args,
+			"model":   sess.mc.Model.Name,
+			"mode":    sess.sim.Mode().String(),
+			"program": sess.progPath,
+		})
+	})
+	return b
+}
+
+// WriteBundle writes the -bundle archive after the run; a no-op when the
+// flag was not given. steps/elapsed are the finished run's cycle count
+// and wall time (they calibrate the bundled perf record's wall tier).
+func (sess *Session) WriteBundle(steps uint64, elapsed time.Duration) {
+	if sess.obs.Bundle == "" {
+		return
+	}
+	// The run is over; close the root span so the bundled tree is whole.
+	sess.Trace.Root().End()
+	f, err := os.Create(sess.obs.Bundle)
+	Fail(err)
+	Fail(sess.BuildBundle(steps, elapsed).WriteTar(f))
+	Fail(f.Close())
+	fmt.Printf("; wrote %s\n", sess.obs.Bundle)
 }
 
 // Protect runs the simulation body under the debug panic guard: if it

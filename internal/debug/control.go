@@ -154,6 +154,17 @@ func (c *Controller) StepN(n uint64) {
 	})
 }
 
+// Ready reports whether the simulation is serviceable: it has reached
+// its first step boundary (the gate is live, so Do-based endpoints
+// respond promptly) or has finished. Paused counts as ready — a paused
+// simulation still services the funnel. Non-blocking: it only takes the
+// status mutex, never the funnel, so /readyz cannot hang.
+func (c *Controller) Ready() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gated || c.done
+}
+
 // Status reports the controller's view of the simulation.
 func (c *Controller) Status() (step uint64, paused bool, cause string, done bool) {
 	c.mu.Lock()

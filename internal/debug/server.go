@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -22,9 +23,11 @@ import (
 
 	"golisa/internal/analyze"
 	"golisa/internal/ast"
+	"golisa/internal/bundle"
 	"golisa/internal/cover"
 	"golisa/internal/fleet"
 	"golisa/internal/model"
+	"golisa/internal/otrace"
 	"golisa/internal/perf"
 	"golisa/internal/profile"
 	"golisa/internal/replay"
@@ -66,6 +69,14 @@ type Options struct {
 	// StartPaused stops the simulation at its first step boundary so
 	// breakpoints can be placed before any instruction runs.
 	StartPaused bool
+	// Log, when non-nil, receives one structured access-log line per
+	// request (method, path, status, duration, request/trace ids).
+	Log *slog.Logger
+	// Bundle backs GET /bundle: it captures a diagnostic bundle of the
+	// live run. The server calls it under the controller funnel, so
+	// implementations may read simulator state freely; the archive is
+	// streamed off it.
+	Bundle func() (*bundle.Builder, error)
 }
 
 // Server exposes one simulator over HTTP. Create it with NewServer,
@@ -119,12 +130,16 @@ func (srv *Server) Attach() trace.Observer {
 // and future requests are served against the final state.
 func (srv *Server) Finish() { srv.ctrl.Finish() }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (srv *Server) Handler() http.Handler { return srv.mux }
+// Handler returns the HTTP handler serving all endpoints, wrapped in
+// the trace-context + access-log middleware: every request gets a trace
+// context (joined from a valid client traceparent header, fresh
+// otherwise), echoed back as a response traceparent header and used as
+// the parent of any batch the request runs.
+func (srv *Server) Handler() http.Handler { return srv.withObservability(srv.mux) }
 
 // ListenAndServe serves the handler on addr until the process exits.
 func (srv *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, srv.mux)
+	return http.ListenAndServe(addr, srv.Handler())
 }
 
 func (srv *Server) routes() {
@@ -148,6 +163,9 @@ func (srv *Server) routes() {
 	srv.mux.HandleFunc("/rstep", srv.handleRStep)
 	srv.mux.HandleFunc("/goto", srv.handleGoto)
 	srv.mux.HandleFunc("/rcontinue", srv.handleRContinue)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("/readyz", srv.handleReadyz)
+	srv.mux.HandleFunc("/bundle", srv.handleBundle)
 }
 
 func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +190,9 @@ func (srv *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li>POST /batch/stream — same manifest, NDJSON results streamed as jobs finish</li>
 <li><a href="/batch/metrics">/batch/metrics</a> — fleet counters (Prometheus)</li>
 <li>/rstep?n=N /goto?cycle=C /rcontinue — time travel (needs -record)</li>
+<li><a href="/healthz">/healthz</a> — liveness (the process serves HTTP)</li>
+<li><a href="/readyz">/readyz</a> — readiness (the simulation reached a step boundary; paused counts as ready)</li>
+<li><a href="/bundle">/bundle</a> — diagnostic bundle (tar.gz: spans, flight, profile, analyze, coverage, perf, buildinfo)</li>
 </ul>`, srv.sim.M.Name, srv.sim.M.Name)
 }
 
@@ -187,6 +208,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	writeProcessMetrics(&buf)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, buf.String())
 }
@@ -625,12 +647,21 @@ func (srv *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sum, err := srv.opts.Batch.Run(man)
+	sum, err := srv.opts.Batch.RunTraced(man, nil, srv.requestTrace(r))
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, sum)
+}
+
+// requestTrace builds the fleet trace for a batch request, continuing
+// the context the middleware minted (itself joined from the client's
+// traceparent when one was sent): the batch's spans, stream records,
+// perf records and Chrome lanes all carry the request's TraceID, and
+// the access-log line for the request carries the matching request id.
+func (srv *Server) requestTrace(r *http.Request) *otrace.Trace {
+	return otrace.Join(requestContext(r), "http "+r.URL.Path)
 }
 
 // handleBatchStream runs a POSTed manifest like /batch but streams the
@@ -648,7 +679,7 @@ func (srv *Server) handleBatchStream(w http.ResponseWriter, r *http.Request) {
 	// error can still replace them with a JSON error response.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	st := fleet.NewStreamer(w)
-	if _, err := srv.opts.Batch.RunWith(man, st); err != nil {
+	if _, err := srv.opts.Batch.RunTraced(man, st, srv.requestTrace(r)); err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -667,6 +698,7 @@ func (srv *Server) handleBatchMetrics(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	writeProcessMetrics(&buf)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, buf.String())
 }

@@ -1,10 +1,12 @@
 package fleet
 
 import (
-	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 	"time"
+
+	"golisa/internal/trace"
 )
 
 // ChromeSpans is a Telemetry sink rendering a whole batch as one Chrome
@@ -13,31 +15,29 @@ import (
 // as a duration slice on the lane of the worker that ran it, so queueing
 // gaps, stragglers and worker imbalance are visible on a single
 // timeline. It complements trace.ChromeTracer, which renders the cycles
-// *inside* one simulation; ChromeSpans renders the jobs *around* them.
+// *inside* one simulation; ChromeSpans renders the jobs *around* them —
+// and with AddSim (fleet.Options.Chrome) the per-job cycle lanes are
+// merged into the same document as their own process groups, rebased
+// onto the batch's wall clock, so one Perfetto load shows the fleet and
+// the simulated pipelines on one timeline under one trace ID.
 // One batch per collector; not safe for concurrent batches.
 type ChromeSpans struct {
-	events []spanEvent
+	events  []trace.ChromeEvent
+	traceID string
 }
 
-// spanEvent mirrors the Chrome trace-event JSON schema (the subset used
-// here). Duplicated from trace's unexported struct so fleet keeps no
-// compile-time dependency on trace's internals.
-type spanEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-const spanPid = 1
-
-// batchTid is the lane carrying batch-level phases; worker w runs on
-// lane w+1.
-const batchTid = 0
+// Lane numbering: the fleet process is pid 1 (batch lane tid 0, worker w
+// on tid w+1); job j's simulation lanes become process pid j+2 via
+// AddSim. Every process and thread carries an explicit sort index so the
+// merged document renders fleet-first, jobs-in-order instead of the
+// viewer's load-order heuristics — the fix for the disjoint process
+// groups the separate pid/tid schemes used to produce.
+const (
+	spanPid  = 1
+	batchTid = 0
+	// simPidBase is the pid of job 0's simulation lanes.
+	simPidBase = 2
+)
 
 // NewChromeSpans creates an empty batch span collector.
 func NewChromeSpans() *ChromeSpans { return &ChromeSpans{} }
@@ -47,20 +47,31 @@ func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 
 func (c *ChromeSpans) meta(tid int, name string) {
 	c.events = append(c.events,
-		spanEvent{Name: "thread_name", Ph: "M", Pid: spanPid, Tid: tid,
+		trace.ChromeEvent{Name: "thread_name", Ph: "M", Pid: spanPid, Tid: tid,
 			Args: map[string]any{"name": name}},
-		spanEvent{Name: "thread_sort_index", Ph: "M", Pid: spanPid, Tid: tid,
+		trace.ChromeEvent{Name: "thread_sort_index", Ph: "M", Pid: spanPid, Tid: tid,
 			Args: map[string]any{"sort_index": tid}},
 	)
 }
 
+// processMeta names and orders one process group of the merged document.
+func (c *ChromeSpans) processMeta(pid int, name string, sortIndex int) {
+	args := map[string]any{"name": name}
+	if c.traceID != "" {
+		args["trace_id"] = c.traceID
+	}
+	c.events = append(c.events,
+		trace.ChromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0, Args: args},
+		trace.ChromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"sort_index": sortIndex}},
+	)
+}
+
 // OnBatchStart implements Telemetry: one named lane per worker plus the
-// batch lane.
+// batch lane, all under the fleet process group.
 func (c *ChromeSpans) OnBatchStart(info BatchInfo) {
-	c.events = append(c.events, spanEvent{
-		Name: "process_name", Ph: "M", Pid: spanPid, Tid: batchTid,
-		Args: map[string]any{"name": "lisa fleet " + info.Model + " (" + info.Mode + ")"},
-	})
+	c.traceID = info.TraceID
+	c.processMeta(spanPid, "lisa fleet "+info.Model+" ("+info.Mode+")", 0)
 	c.meta(batchTid, "batch")
 	for w := 0; w < info.Workers; w++ {
 		c.meta(w+1, "worker "+strconv.Itoa(w))
@@ -69,7 +80,7 @@ func (c *ChromeSpans) OnBatchStart(info BatchInfo) {
 
 // OnPhase implements Telemetry: build phases as slices on the batch lane.
 func (c *ChromeSpans) OnPhase(phase string, from, to time.Duration) {
-	c.events = append(c.events, spanEvent{
+	c.events = append(c.events, trace.ChromeEvent{
 		Name: phase, Cat: "build", Ph: "X",
 		Ts: us(from), Dur: us(to - from), Pid: spanPid, Tid: batchTid,
 	})
@@ -82,7 +93,7 @@ func (c *ChromeSpans) OnJobQueued(job int, name string, at time.Duration) {
 	if job != 0 {
 		return
 	}
-	c.events = append(c.events, spanEvent{
+	c.events = append(c.events, trace.ChromeEvent{
 		Name: "jobs queued", Cat: "queue", Ph: "i",
 		Ts: us(at), Pid: spanPid, Tid: batchTid,
 	})
@@ -93,7 +104,7 @@ func (c *ChromeSpans) OnJobQueued(job int, name string, at time.Duration) {
 func (c *ChromeSpans) OnJobStart(int, int, string, time.Duration) {}
 
 // OnJobFinish implements Telemetry: the job as one slice on its worker's
-// lane, with outcome and queueing delay in the args.
+// lane, with outcome, queueing delay and span identity in the args.
 func (c *ChromeSpans) OnJobFinish(span Span) {
 	args := map[string]any{
 		"job":        span.Job,
@@ -104,7 +115,10 @@ func (c *ChromeSpans) OnJobFinish(span Span) {
 	if span.Err != "" {
 		args["error"] = span.Err
 	}
-	c.events = append(c.events, spanEvent{
+	if span.Result != nil && span.Result.SpanID != "" {
+		args["span_id"] = span.Result.SpanID
+	}
+	c.events = append(c.events, trace.ChromeEvent{
 		Name: span.Name, Cat: "job", Ph: "X",
 		Ts: us(span.Started), Dur: us(span.Finished - span.Started),
 		Pid: spanPid, Tid: span.Worker + 1, Args: args,
@@ -114,16 +128,51 @@ func (c *ChromeSpans) OnJobFinish(span Span) {
 // OnBatchEnd implements Telemetry: batch totals as an instant so the
 // summary is inspectable inside the trace viewer.
 func (c *ChromeSpans) OnBatchEnd(sum *Summary) {
-	c.events = append(c.events, spanEvent{
+	args := map[string]any{
+		"jobs": sum.Jobs, "failed": sum.Failed,
+		"jobs_per_sec": sum.Latency.JobsPerSec,
+		"p50":          sum.Latency.P50.String(),
+		"p99":          sum.Latency.P99.String(),
+	}
+	if sum.TraceID != "" {
+		args["trace_id"] = sum.TraceID
+	}
+	c.events = append(c.events, trace.ChromeEvent{
 		Name: "batch done", Cat: "batch", Ph: "i", Ts: us(sum.Elapsed),
-		Pid: spanPid, Tid: batchTid,
-		Args: map[string]any{
-			"jobs": sum.Jobs, "failed": sum.Failed,
-			"jobs_per_sec": sum.Latency.JobsPerSec,
-			"p50":          sum.Latency.P50.String(),
-			"p99":          sum.Latency.P99.String(),
-		},
+		Pid: spanPid, Tid: batchTid, Args: args,
 	})
+}
+
+// AddSim merges one job's per-cycle trace (a trace.ChromeTracer attached
+// by Options.Chrome) into the batch document as its own process group:
+// pid job+2, named after the job, sorted after the fleet lanes. The sim
+// tracer stamps events in cycle-µs; AddSim rebases them onto the batch
+// clock — ts' = startUs + ts·scale, where scale maps one simulated cycle
+// to the job's real per-cycle wall time — so the job's pipeline activity
+// lines up exactly under its worker-lane slice. Flow-event IDs (packet
+// bindings) are prefixed per job so packets of different jobs never
+// alias. Call after the batch finishes, in job order, before WriteJSON.
+func (c *ChromeSpans) AddSim(job int, name string, events []trace.ChromeEvent, startUs, scale float64) {
+	pid := simPidBase + job
+	c.processMeta(pid, fmt.Sprintf("job %d: %s", job, name), 1+job)
+	for _, e := range events {
+		e.Pid = pid
+		switch e.Ph {
+		case "M":
+			// Metadata carries no timestamps; drop the tracer's own
+			// process_name in favor of the group emitted above.
+			if e.Name == "process_name" {
+				continue
+			}
+		default:
+			e.Ts = startUs + e.Ts*scale
+			e.Dur = e.Dur * scale
+		}
+		if e.ID != "" {
+			e.ID = fmt.Sprintf("j%d-%s", job, e.ID)
+		}
+		c.events = append(c.events, e)
+	}
 }
 
 // Len returns the number of buffered trace events.
@@ -132,12 +181,5 @@ func (c *ChromeSpans) Len() int { return len(c.events) }
 // WriteJSON emits the buffered events as a Chrome trace-event JSON
 // object, the same envelope trace.ChromeTracer writes.
 func (c *ChromeSpans) WriteJSON(w io.Writer) error {
-	doc := struct {
-		TraceEvents     []spanEvent `json:"traceEvents"`
-		DisplayTimeUnit string      `json:"displayTimeUnit"`
-	}{TraceEvents: c.events, DisplayTimeUnit: "ms"}
-	if doc.TraceEvents == nil {
-		doc.TraceEvents = []spanEvent{}
-	}
-	return json.NewEncoder(w).Encode(doc)
+	return trace.WriteEventsJSON(w, c.events)
 }

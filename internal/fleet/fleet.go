@@ -20,6 +20,7 @@ import (
 	"golisa/internal/asm"
 	"golisa/internal/core"
 	"golisa/internal/cover"
+	"golisa/internal/otrace"
 	"golisa/internal/perf"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
@@ -59,6 +60,12 @@ type Result struct {
 	// PrintsTruncated marks that the job emitted more print lines than
 	// Options.MaxPrints and the excess was dropped.
 	PrintsTruncated bool `json:"prints_truncated,omitempty"`
+
+	// TraceID/SpanID are the job's identity in the batch's trace: TraceID
+	// is shared by the whole batch, SpanID names this job's span. They tie
+	// the NDJSON stream, perf records and Chrome timeline together.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Options configures a batch run.
@@ -88,6 +95,19 @@ type Options struct {
 	// sealed ledger RunRecord per successful job plus one batch-level
 	// record carrying the latency summary, in Summary.Perf.
 	Perf bool
+	// Trace, when non-nil, is the trace context the batch records its
+	// spans into (batch → assemble / artifact-build / decode-warm →
+	// job:<name> → run), so a caller-minted trace (an HTTP request, a CLI
+	// invocation joining LISA_TRACEPARENT) and the batch share one
+	// TraceID. Nil makes Run mint a fresh trace — every batch has one.
+	Trace *otrace.Trace
+	// Chrome, when non-nil, both joins the telemetry fanout (worker-lane
+	// batch timeline) and attaches a per-cycle Chrome tracer to every
+	// job, merging each job's pipeline lanes into the same document
+	// rebased onto the batch clock (ChromeSpans.AddSim). This is the
+	// merged fleet+sim timeline; attaching the same collector via
+	// Telemetry instead yields only the fleet lanes.
+	Chrome *ChromeSpans
 }
 
 // DefaultMaxSteps caps jobs when neither the job nor the options set one.
@@ -105,6 +125,11 @@ type Summary struct {
 	Jobs    int    `json:"jobs"`
 	Workers int    `json:"workers"`
 	Failed  int    `json:"failed"`
+
+	// TraceID is the batch's trace identity; SpanID is the batch span.
+	// Every job Result carries the same TraceID with its own SpanID.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 
 	TotalSteps uint64        `json:"total_steps"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
@@ -161,7 +186,15 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 		return nil, fmt.Errorf("fleet: no jobs")
 	}
 	batchStart := time.Now()
-	em := newTeleEmitter(opt.Telemetry, batchStart)
+	tr := opt.Trace
+	if tr == nil {
+		tr = otrace.New("fleet-batch")
+	}
+	tele := opt.Telemetry
+	if opt.Chrome != nil {
+		tele = TeleFanout(tele, opt.Chrome)
+	}
+	em := newTeleEmitter(tele, batchStart)
 	pm, err := mc.ProgramMemory()
 	if err != nil {
 		return nil, err
@@ -178,10 +211,17 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	em.batchStart(BatchInfo{Model: mc.Model.Name, Mode: mode.String(), Jobs: len(jobs), Workers: workers})
+	batchSpan := tr.Start(nil, "batch")
+	batchSpan.SetAttr("model", mc.Model.Name)
+	batchSpan.SetAttr("mode", mode.String())
+	batchSpan.SetAttr("jobs", len(jobs))
+	batchSpan.SetAttr("workers", workers)
+	em.batchStart(BatchInfo{Model: mc.Model.Name, Mode: mode.String(),
+		Jobs: len(jobs), Workers: workers, TraceID: tr.ID().String()})
 
 	// Assemble each distinct source once; jobs sharing a program share the
 	// assembled image (read-only afterwards).
+	asmSpan := tr.Start(batchSpan, "assemble")
 	asmFrom := time.Since(batchStart)
 	progs := map[string]*asm.Program{}
 	asmErrs := map[string]error{}
@@ -205,13 +245,20 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 			}
 		}
 	}
+	asmSpan.SetAttr("sources", len(progs))
+	asmSpan.End()
 	em.phase("assemble", asmFrom, time.Since(batchStart))
 
 	prewarmFrom := time.Since(batchStart)
+	artSpan := tr.Start(batchSpan, "artifact-build")
 	art := sim.NewArtifact(mc.Model, mode)
+	artSpan.End()
+	warmSpan := tr.Start(batchSpan, "decode-warm")
+	warmSpan.SetAttr("words", len(words))
 	if err := art.Prewarm(words); err != nil {
 		return nil, err
 	}
+	warmSpan.End()
 	em.phase("prewarm", prewarmFrom, time.Since(batchStart))
 
 	// The coverage enumeration is deterministic per model, so one map
@@ -238,6 +285,10 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 		}
 	}
 	results := make([]Result, len(jobs))
+	var simTracers []*trace.ChromeTracer
+	if opt.Chrome != nil {
+		simTracers = make([]*trace.ChromeTracer, len(jobs))
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -249,7 +300,11 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 				name := jobLabel(i, job)
 				startedAt := time.Since(batchStart)
 				em.jobStart(i, worker, name, startedAt)
-				res := Result{Name: name, Worker: worker}
+				jobSpan := tr.Start(batchSpan, "job:"+name)
+				jobSpan.SetAttr("job", i)
+				jobSpan.SetAttr("worker", worker)
+				res := Result{Name: name, Worker: worker,
+					TraceID: tr.ID().String(), SpanID: jobSpan.ID().String()}
 				switch {
 				case job.Source == "":
 					res.Err = "no program source (set source, or program resolved by the manifest loader)"
@@ -260,8 +315,21 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 					if max == 0 {
 						max = defMax
 					}
-					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, covMap, &res)
+					var ct *trace.ChromeTracer
+					if simTracers != nil {
+						ct = trace.NewChromeTracer()
+						simTracers[i] = ct
+					}
+					runSpan := tr.Start(jobSpan, "run")
+					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, covMap, ct, &res)
+					runSpan.SetAttr("steps", res.Steps)
+					runSpan.End()
 				}
+				jobSpan.SetAttr("halted", res.Halted)
+				if res.Err != "" {
+					jobSpan.SetAttr("error", res.Err)
+				}
+				jobSpan.End()
 				finishedAt := time.Since(batchStart)
 				res.QueuedFor = startedAt - queuedAt
 				res.RunFor = finishedAt - startedAt
@@ -281,7 +349,27 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	close(idx)
 	wg.Wait()
 
+	// Merge each job's per-cycle lanes into the batch timeline, in job
+	// order, rebased so a job's pipeline activity sits exactly under its
+	// worker-lane slice on the shared clock.
+	if opt.Chrome != nil {
+		for i := range results {
+			r := &results[i]
+			ct := simTracers[i]
+			if ct == nil || ct.Len() == 0 {
+				continue
+			}
+			scale := 1.0
+			if r.Steps > 0 && r.RunFor > 0 {
+				scale = us(r.RunFor) / float64(r.Steps)
+			}
+			opt.Chrome.AddSim(i, r.Name, ct.Events(), us(queuedAt+r.QueuedFor), scale)
+		}
+	}
+
 	sum := &Summary{
+		TraceID:          tr.ID().String(),
+		SpanID:           batchSpan.ID().String(),
 		Model:            mc.Model.Name,
 		Mode:             mode.String(),
 		Jobs:             len(jobs),
@@ -334,6 +422,7 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 	if opt.Perf {
 		sum.Perf = buildPerfRecords(mc, mode, jobs, progs, sum, perfStamp())
 	}
+	batchSpan.End()
 	em.batchEnd(sum)
 	return sum, nil
 }
@@ -351,8 +440,9 @@ func jobLabel(i int, j Job) string {
 // Each job is fully isolated: its own state, pipelines, profile and (when
 // analyzing) observer. maxPrints > 0 caps the captured print lines
 // (negative = unlimited) so a print-looping program cannot exhaust the
-// host's memory.
-func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, maxPrints int, doAnalyze bool, covMap *cover.Map, res *Result) {
+// host's memory. ct, when non-nil, records the job's per-cycle Chrome
+// trace for the merged batch timeline.
+func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, maxPrints int, doAnalyze bool, covMap *cover.Map, ct *trace.ChromeTracer, res *Result) {
 	s := sim.NewFromArtifact(art)
 	if err := s.Reset(); err != nil {
 		res.Err = err.Error()
@@ -380,6 +470,9 @@ func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, ma
 		col = cover.NewCollector(covMap)
 		s.OnDecoded = col.MarkDecoded
 		obs = append(obs, col)
+	}
+	if ct != nil {
+		obs = append(obs, ct)
 	}
 	if len(obs) > 0 {
 		s.SetObserver(trace.Fanout(obs...))

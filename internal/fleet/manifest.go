@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"golisa/internal/core"
+	"golisa/internal/otrace"
 	"golisa/internal/sim"
 )
 
@@ -136,6 +137,14 @@ func (sv *Service) Run(man *Manifest) (*Summary, error) {
 // NDJSON Streamer for one HTTP response) fanned out with the service's
 // own.
 func (sv *Service) RunWith(man *Manifest, tele Telemetry) (*Summary, error) {
+	return sv.RunTraced(man, tele, nil)
+}
+
+// RunTraced is RunWith with an explicit trace context, so a host that
+// already minted one (the debug server joining a request's traceparent
+// header) shares its TraceID with the batch's spans, stream, metrics and
+// perf records. A nil trace makes the batch mint its own.
+func (sv *Service) RunTraced(man *Manifest, tele Telemetry, tr *otrace.Trace) (*Summary, error) {
 	if man == nil || len(man.Jobs) == 0 {
 		return nil, fmt.Errorf("batch: no jobs")
 	}
@@ -165,6 +174,7 @@ func (sv *Service) RunWith(man *Manifest, tele Telemetry) (*Summary, error) {
 		Perf:      man.Perf,
 		MaxPrints: man.MaxPrints,
 		Telemetry: TeleFanout(sv.Telemetry, tele),
+		Trace:     tr,
 	}
 	if opt.Workers <= 0 {
 		opt.Workers = sv.Workers

@@ -55,6 +55,12 @@ type Metrics struct {
 	// a different fingerprint (model changed under the server) resets
 	// the union rather than corrupting it.
 	cov *cover.Snapshot
+
+	// lastTraceID is the most recent batch's trace identity, exposed as
+	// an exemplar-style info gauge so a scrape can be joined to the
+	// NDJSON stream / perf records / Chrome timeline of the batch that
+	// produced the current counter values.
+	lastTraceID string
 }
 
 // NewMetrics creates an empty fleet metrics collector.
@@ -66,9 +72,12 @@ func NewMetrics() *Metrics {
 }
 
 // OnBatchStart implements Telemetry.
-func (m *Metrics) OnBatchStart(BatchInfo) {
+func (m *Metrics) OnBatchStart(info BatchInfo) {
 	m.mu.Lock()
 	m.batches++
+	if info.TraceID != "" {
+		m.lastTraceID = info.TraceID
+	}
 	m.mu.Unlock()
 }
 
@@ -156,6 +165,14 @@ func (m *Metrics) WriteText(w io.Writer) error {
 
 	head("lisa_fleet_jobs_in_flight", "Jobs currently running on a worker.", "gauge")
 	p("lisa_fleet_jobs_in_flight %d\n", m.inFlight)
+
+	// Exemplar-style info gauge: the label carries the identity, the
+	// value is always 1. Only present once a traced batch ran, keeping
+	// earlier expositions byte-identical.
+	if m.lastTraceID != "" {
+		head("lisa_fleet_last_batch_trace_info", "Trace ID of the most recent batch (join key into NDJSON streams, perf records and Chrome timelines).", "gauge")
+		p("lisa_fleet_last_batch_trace_info{trace_id=\"%s\"} 1\n", promLabelEscape(m.lastTraceID))
+	}
 
 	head("lisa_fleet_job_latency_seconds", "Per-job run latency (worker pickup to finish).", "histogram")
 	var cum uint64

@@ -43,6 +43,8 @@ func buildPerfRecords(mc *core.Machine, mode sim.Mode, jobs []Job, progs map[str
 			Engine:      engine,
 			Workers:     1, // each job runs on one worker
 			Time:        stamp,
+			TraceID:     res.TraceID,
+			SpanID:      res.SpanID,
 		})
 		// No analyzer report rides a fleet result, so the issue/idle split
 		// is unknown here; retired packets stand in for dispatches and the
@@ -73,6 +75,8 @@ func buildPerfRecords(mc *core.Machine, mode sim.Mode, jobs []Job, progs map[str
 		Engine:      engine,
 		Workers:     sum.Workers,
 		Time:        stamp,
+		TraceID:     sum.TraceID,
+		SpanID:      sum.SpanID,
 	})
 	batch.Counters = perf.Counters{Cycles: sum.TotalSteps, Halted: sum.Failed == 0}
 	if len(sum.Penalty) > 0 {

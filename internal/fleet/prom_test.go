@@ -242,6 +242,7 @@ func TestFleetMetricsExposition(t *testing.T) {
 		"lisa_fleet_job_decodes_total":       "counter",
 		"lisa_fleet_job_compiles_total":      "counter",
 		"lisa_fleet_jobs_in_flight":          "gauge",
+		"lisa_fleet_last_batch_trace_info":   "gauge",
 		"lisa_fleet_job_latency_seconds":     "histogram",
 		"lisa_fleet_penalty_cycles_total":    "counter",
 	}
@@ -281,6 +282,16 @@ func TestFleetMetricsExposition(t *testing.T) {
 	}
 	if v := sampleValue(t, out, "lisa_fleet_jobs_in_flight "); v != 0 {
 		t.Errorf("jobs_in_flight = %v, want 0 after the batches", v)
+	}
+
+	// The trace-info gauge joins the scrape to the last batch: value 1,
+	// identity in the label, a well-formed 32-hex trace id.
+	if v := sampleValue(t, out, "lisa_fleet_last_batch_trace_info{"); v != 1 {
+		t.Errorf("last_batch_trace_info = %v, want 1", v)
+	}
+	traceInfoRe := regexp.MustCompile(`lisa_fleet_last_batch_trace_info\{trace_id="([0-9a-f]{32})"\} 1`)
+	if !traceInfoRe.MatchString(out) {
+		t.Errorf("trace-info gauge lacks a 32-hex trace_id label in:\n%s", out)
 	}
 
 	// Histogram invariants: cumulative buckets ending at +Inf == _count.

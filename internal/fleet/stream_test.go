@@ -144,11 +144,21 @@ func TestFleetStreamNDJSONFraming(t *testing.T) {
 	}
 
 	// Golden comparison of the failing job's line: its only volatile
-	// fields are the timings, so zeroing them must reproduce the exact
-	// bytes the streamer framed.
+	// fields are the timings and the trace identity, so zeroing them must
+	// reproduce the exact bytes the streamer framed. The identity itself
+	// must be well-formed and shared with the batch before it is cleared.
+	if len(bad.Result.TraceID) != 32 || len(bad.Result.SpanID) != 16 {
+		t.Errorf("bad job trace identity = (%q, %q), want 32/16 hex chars",
+			bad.Result.TraceID, bad.Result.SpanID)
+	}
+	if sum.Summary.TraceID != bad.Result.TraceID {
+		t.Errorf("summary trace id %q != job trace id %q", sum.Summary.TraceID, bad.Result.TraceID)
+	}
 	norm := bad
 	norm.Result.QueuedFor = 0
 	norm.Result.RunFor = 0
+	norm.Result.TraceID = ""
+	norm.Result.SpanID = ""
 	wantRec := StreamRecord{Type: "job", Job: 1, Result: &Result{
 		Name: "bad",
 		Err:  "no program source (set source, or program resolved by the manifest loader)",

@@ -6,13 +6,16 @@ import (
 )
 
 // BatchInfo describes a batch at the moment it starts: the shared model
-// and mode, the number of jobs, and the worker-pool size actually used
-// (after clamping to the job count).
+// and mode, the number of jobs, the worker-pool size actually used
+// (after clamping to the job count), and the batch's trace identity.
 type BatchInfo struct {
 	Model   string
 	Mode    string
 	Jobs    int
 	Workers int
+	// TraceID is the batch's otrace identity (32 hex chars), the same id
+	// every job Result and perf record of the batch carries.
+	TraceID string
 }
 
 // Span is the completed lifecycle of one job. Queued, Started and

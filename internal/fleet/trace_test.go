@@ -1,0 +1,221 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"golisa/internal/otrace"
+	"golisa/internal/sim"
+)
+
+// TestFleetTracePropagation runs a batch under an explicit trace and
+// checks the identity contract at every layer: the summary and every job
+// result carry the trace's TraceID, every phase of the batch (assemble,
+// artifact-build, decode-warm, per-job, per-run) has an ended span in
+// the tree, and job SpanIDs in the results match their spans.
+func TestFleetTracePropagation(t *testing.T) {
+	mc, src := loadFIR(t)
+	jobs := []Job{
+		{Name: "fir-0", Source: src},
+		{Name: "fir-1", Source: src},
+		{Name: "fir-2", Source: src},
+	}
+	tr := otrace.New("test batch")
+	sum, err := Run(mc, sim.Compiled, jobs, Options{Workers: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := tr.ID().String()
+	if sum.TraceID != want {
+		t.Errorf("summary TraceID = %s, want %s", sum.TraceID, want)
+	}
+	if len(sum.SpanID) != 16 {
+		t.Errorf("summary SpanID = %q, want 16 hex chars", sum.SpanID)
+	}
+	jobSpans := map[string]string{} // span id -> job name
+	for _, r := range sum.Results {
+		if r.TraceID != want {
+			t.Errorf("job %s TraceID = %s, want %s", r.Name, r.TraceID, want)
+		}
+		if len(r.SpanID) != 16 || jobSpans[r.SpanID] != "" {
+			t.Errorf("job %s SpanID = %q, want 16 hex chars unique per job", r.Name, r.SpanID)
+		}
+		jobSpans[r.SpanID] = r.Name
+	}
+
+	tr.Root().End() // the caller owns the root span; close it before export
+	doc := tr.Export()
+	if doc.TraceID != want {
+		t.Errorf("exported doc TraceID = %s, want %s", doc.TraceID, want)
+	}
+	names := map[string]int{}
+	spansByID := map[string]otrace.SpanJSON{}
+	for _, sp := range doc.Spans {
+		names[sp.Name]++
+		spansByID[sp.SpanID] = sp
+		if !sp.Ended {
+			t.Errorf("span %s (%s) never ended", sp.Name, sp.SpanID)
+		}
+	}
+	for _, phase := range []string{"batch", "assemble", "artifact-build", "decode-warm"} {
+		if names[phase] != 1 {
+			t.Errorf("phase span %q appears %d times, want once (have %v)", phase, names[phase], names)
+		}
+	}
+	for _, j := range jobs {
+		if names["job:"+j.Name] != 1 {
+			t.Errorf("job span %q appears %d times, want once", "job:"+j.Name, names["job:"+j.Name])
+		}
+	}
+	if names["run"] != len(jobs) {
+		t.Errorf("%d run spans, want one per job (%d)", names["run"], len(jobs))
+	}
+	// The SpanIDs published in the results are real spans of the tree,
+	// named after their jobs.
+	for id, job := range jobSpans {
+		sp, ok := spansByID[id]
+		if !ok {
+			t.Errorf("job %s SpanID %s not in the exported tree", job, id)
+			continue
+		}
+		if sp.Name != "job:"+job {
+			t.Errorf("result SpanID %s resolves to span %q, want %q", id, sp.Name, "job:"+job)
+		}
+	}
+}
+
+// TestFleetTraceMintedWhenAbsent: every batch has a trace even when the
+// caller passes none, so downstream sinks can always rely on the IDs.
+func TestFleetTraceMintedWhenAbsent(t *testing.T) {
+	mc, src := loadFIR(t)
+	sum, err := Run(mc, sim.Compiled, []Job{{Name: "fir", Source: src}}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.TraceID) != 32 {
+		t.Errorf("minted TraceID = %q, want 32 hex chars", sum.TraceID)
+	}
+	if sum.Results[0].TraceID != sum.TraceID {
+		t.Errorf("job TraceID %s != summary TraceID %s", sum.Results[0].TraceID, sum.TraceID)
+	}
+}
+
+// TestChromeMergedTimeline runs a batch with Options.Chrome and checks
+// the merged document: fleet lanes under pid 1 stamped with the batch
+// TraceID, one process group per job holding its simulation lanes,
+// per-job flow IDs that never alias, and sim slices rebased inside their
+// worker-lane job slice.
+func TestChromeMergedTimeline(t *testing.T) {
+	mc, src := loadFIR(t)
+	jobs := []Job{
+		{Name: "fir-a", Source: src},
+		{Name: "fir-b", Source: src},
+	}
+	tr := otrace.New("merged timeline")
+	cs := NewChromeSpans()
+	sum, err := Run(mc, sim.Compiled, jobs, Options{Workers: 2, Trace: tr, Chrome: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			ID   string         `json:"id"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+
+	processNames := map[int]string{} // pid -> process_name
+	jobSliceBounds := map[string][2]float64{}
+	simEventsByPid := map[int]int{}
+	simBoundsByPid := map[int][2]float64{}
+	flowPrefixes := map[string]bool{}
+	fleetMetaTraceID := ""
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			name, _ := e.Args["name"].(string)
+			if prev, dup := processNames[e.Pid]; dup {
+				t.Errorf("pid %d named twice (%q, %q)", e.Pid, prev, name)
+			}
+			processNames[e.Pid] = name
+			if e.Pid == 1 {
+				fleetMetaTraceID, _ = e.Args["trace_id"].(string)
+			}
+		case e.Ph == "X" && e.Cat == "job":
+			jobSliceBounds[e.Name] = [2]float64{e.Ts, e.Ts + e.Dur}
+		case e.Pid >= 2 && e.Ph != "M":
+			simEventsByPid[e.Pid]++
+			b, ok := simBoundsByPid[e.Pid]
+			if !ok {
+				b = [2]float64{e.Ts, e.Ts}
+			}
+			if e.Ts < b[0] {
+				b[0] = e.Ts
+			}
+			if end := e.Ts + e.Dur; end > b[1] {
+				b[1] = end
+			}
+			simBoundsByPid[e.Pid] = b
+			if e.ID != "" {
+				flowPrefixes[strings.SplitN(e.ID, "-", 2)[0]] = true
+			}
+		}
+	}
+
+	if fleetMetaTraceID != tr.ID().String() {
+		t.Errorf("fleet process meta trace_id = %q, want %s", fleetMetaTraceID, tr.ID())
+	}
+	if !strings.HasPrefix(processNames[1], "lisa fleet") {
+		t.Errorf("pid 1 process name = %q, want the fleet group", processNames[1])
+	}
+	for i, j := range jobs {
+		pid := simPidBase + i
+		wantName := "job " + string(rune('0'+i)) + ": " + j.Name
+		if processNames[pid] != wantName {
+			t.Errorf("pid %d process name = %q, want %q", pid, processNames[pid], wantName)
+		}
+		if simEventsByPid[pid] == 0 {
+			t.Errorf("job %d (%s) contributed no simulation events", i, j.Name)
+		}
+		// The rebased sim activity sits inside the job's worker-lane
+		// slice (within a microsecond of float slack at the edges).
+		jb, ok := jobSliceBounds[j.Name]
+		if !ok {
+			t.Fatalf("no worker-lane slice for job %q", j.Name)
+		}
+		sb := simBoundsByPid[pid]
+		const slack = 1.0
+		if sb[0] < jb[0]-slack || sb[1] > jb[1]+slack {
+			t.Errorf("job %d sim lanes span [%v, %v]µs, outside its slice [%v, %v]µs",
+				i, sb[0], sb[1], jb[0], jb[1])
+		}
+	}
+	// Flow IDs are namespaced per job: with two jobs contributing flows,
+	// both prefixes appear and nothing is un-prefixed.
+	for p := range flowPrefixes {
+		if p != "j0" && p != "j1" {
+			t.Errorf("flow id prefix %q, want j0 or j1", p)
+		}
+	}
+	if sum.TraceID != tr.ID().String() {
+		t.Errorf("summary TraceID = %s, want %s", sum.TraceID, tr.ID())
+	}
+}

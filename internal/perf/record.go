@@ -109,6 +109,12 @@ type Env struct {
 	// Time is the measurement timestamp (RFC3339). Callers stamp it so
 	// tests can build byte-identical records.
 	Time string
+	// TraceID/SpanID tie the record to the trace that produced it
+	// (otrace identity: 32/16 hex chars). Optional; records measured
+	// outside a traced run leave them empty, which keeps their content
+	// address identical to pre-trace records.
+	TraceID string
+	SpanID  string
 }
 
 // Key is the ledger's query key: records of one (model, program, engine)
@@ -139,6 +145,12 @@ type RunRecord struct {
 	Engine  string `json:"engine"`
 	Workers int    `json:"workers,omitempty"`
 
+	// TraceID/SpanID are the producing run's trace identity (empty for
+	// untraced runs; omitted from the canonical JSON then, so old ledger
+	// IDs stay valid).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+
 	Host buildinfo.Info `json:"host"`
 
 	Counters Counters       `json:"counters"`
@@ -162,6 +174,8 @@ func New(env Env) *RunRecord {
 		Engine:      env.Engine,
 		Workers:     env.Workers,
 		Note:        env.Note,
+		TraceID:     env.TraceID,
+		SpanID:      env.SpanID,
 		Host:        buildinfo.Get(),
 	}
 }
@@ -312,6 +326,13 @@ func (r *RunRecord) WriteText(w io.Writer) error {
 		fmt.Fprintf(ew, "  batch %d jobs on %d workers: p50 %s p90 %s p99 %s max %s; %.1f jobs/sec, %.0f%% utilization\n",
 			b.Jobs, b.Workers, time.Duration(b.P50Ns), time.Duration(b.P90Ns),
 			time.Duration(b.P99Ns), time.Duration(b.MaxNs), b.JobsPerSec, 100*b.Utilization)
+	}
+	if r.TraceID != "" {
+		fmt.Fprintf(ew, "  trace %s", r.TraceID)
+		if r.SpanID != "" {
+			fmt.Fprintf(ew, " span %s", r.SpanID)
+		}
+		fmt.Fprintln(ew)
 	}
 	if r.Note != "" {
 		fmt.Fprintf(ew, "  note: %s\n", r.Note)

@@ -14,7 +14,7 @@ import (
 // stalls visible in a browser. One control step maps to 1µs of trace
 // time.
 type ChromeTracer struct {
-	events []chromeEvent
+	events []ChromeEvent
 	tids   map[[2]int]int // (pipe, stage) → tid
 	opsTid int            // track for unassigned operations
 	pipes  []PipeInfo
@@ -22,7 +22,11 @@ type ChromeTracer struct {
 	flows  map[uint64]bool // packet ids already started
 }
 
-type chromeEvent struct {
+// ChromeEvent is one Chrome trace-event JSON record (the subset of the
+// trace-event format these tracers emit). It is exported so batch-level
+// collectors (fleet.ChromeSpans) share one schema with the per-cycle
+// tracer and can merge both into a single timeline document.
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat,omitempty"`
 	Ph    string         `json:"ph"`
@@ -47,7 +51,7 @@ func NewChromeTracer() *ChromeTracer {
 // (plus one for unassigned operations) with stable names and ordering.
 func (c *ChromeTracer) OnAttach(model string, pipes []PipeInfo) {
 	c.pipes = pipes
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
 		Args: map[string]any{"name": "lisa-sim " + model},
 	})
@@ -65,9 +69,9 @@ func (c *ChromeTracer) OnAttach(model string, pipes []PipeInfo) {
 
 func (c *ChromeTracer) meta(tid int, name string) {
 	c.events = append(c.events,
-		chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+		ChromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
 			Args: map[string]any{"name": name}},
-		chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid,
+		ChromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid,
 			Args: map[string]any{"sort_index": tid}},
 	)
 }
@@ -114,7 +118,7 @@ func (c *ChromeTracer) OnOccupancy(pipe int, occupied []bool) {
 			n++
 		}
 	}
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: c.pipes[pipe].Name + " occupancy", Ph: "C", Ts: c.ts(),
 		Pid: chromePid, Tid: 0, Args: map[string]any{"packets": n},
 	})
@@ -122,7 +126,7 @@ func (c *ChromeTracer) OnOccupancy(pipe int, occupied []bool) {
 
 // OnDecode implements Observer.
 func (c *ChromeTracer) OnDecode(root string, word uint64, hit bool) {
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: "decode " + root, Cat: "decode", Ph: "i", Ts: c.ts(),
 		Pid: chromePid, Tid: c.opsTid, Scope: "t",
 		Args: map[string]any{"word": fmt.Sprintf("%#x", word), "cache_hit": hit},
@@ -137,7 +141,7 @@ func (c *ChromeTracer) OnActivate(string, uint64) {}
 // a flow event binding the slices of one packet together.
 func (c *ChromeTracer) OnExec(op string, pipe, stage int, packet uint64) {
 	tid := c.tid(pipe, stage)
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: op, Cat: "exec", Ph: "X", Ts: c.ts(), Dur: 1,
 		Pid: chromePid, Tid: tid,
 	})
@@ -149,7 +153,7 @@ func (c *ChromeTracer) OnExec(op string, pipe, stage int, packet uint64) {
 		c.flows[packet] = true
 		ph = "s"
 	}
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: "packet", Cat: "packet", Ph: ph, Ts: c.ts(),
 		Pid: chromePid, Tid: tid, ID: fmt.Sprintf("%#x", packet),
 	})
@@ -199,7 +203,7 @@ func (c *ChromeTracer) hazard(kind string, info StallInfo) {
 		}
 	}
 	for _, tid := range c.stageTids(info.Pipe, info.Stage) {
-		c.events = append(c.events, chromeEvent{
+		c.events = append(c.events, ChromeEvent{
 			Name: name, Cat: "hazard", Ph: "i", Ts: c.ts(),
 			Pid: chromePid, Tid: tid, Scope: "t", Args: args,
 		})
@@ -213,14 +217,14 @@ func (c *ChromeTracer) OnShift(int) {}
 // stage's track.
 func (c *ChromeTracer) OnRetire(pipe, stage int, packet uint64, entries int) {
 	tid := c.tid(pipe, stage)
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: "retire", Cat: "retire", Ph: "i", Ts: c.ts(),
 		Pid: chromePid, Tid: tid, Scope: "t",
 		Args: map[string]any{"entries": entries},
 	})
 	if packet != 0 && c.flows[packet] {
 		delete(c.flows, packet)
-		c.events = append(c.events, chromeEvent{
+		c.events = append(c.events, ChromeEvent{
 			Name: "packet", Cat: "packet", Ph: "f", BP: "e", Ts: c.ts(),
 			Pid: chromePid, Tid: tid, ID: fmt.Sprintf("%#x", packet),
 		})
@@ -239,7 +243,7 @@ func (c *ChromeTracer) OnMemWrite(string, uint64, uint64) {}
 // external producers (the hazard analyzer's occupancy timelines) use to
 // add their curves to the same trace-viewer view as the spans.
 func (c *ChromeTracer) AddCounter(name string, ts float64, values map[string]any) {
-	c.events = append(c.events, chromeEvent{
+	c.events = append(c.events, ChromeEvent{
 		Name: name, Ph: "C", Ts: ts, Pid: chromePid, Tid: 0, Args: values,
 	})
 }
@@ -247,14 +251,27 @@ func (c *ChromeTracer) AddCounter(name string, ts float64, values map[string]any
 // Len returns the number of buffered trace events.
 func (c *ChromeTracer) Len() int { return len(c.events) }
 
-// WriteJSON emits the buffered events as a Chrome trace-event JSON object.
-func (c *ChromeTracer) WriteJSON(w io.Writer) error {
+// Events returns the buffered trace events. The slice is the tracer's
+// own buffer — treat it as read-only and do not retain it across further
+// observer callbacks. Merging collectors (fleet.ChromeSpans.AddSim) copy
+// what they keep.
+func (c *ChromeTracer) Events() []ChromeEvent { return c.events }
+
+// WriteEventsJSON writes any event slice in the standard Chrome
+// trace-event envelope, so merged documents and single-tracer documents
+// are byte-compatible for trace viewers.
+func WriteEventsJSON(w io.Writer, events []ChromeEvent) error {
 	doc := struct {
-		TraceEvents     []chromeEvent `json:"traceEvents"`
+		TraceEvents     []ChromeEvent `json:"traceEvents"`
 		DisplayTimeUnit string        `json:"displayTimeUnit"`
-	}{TraceEvents: c.events, DisplayTimeUnit: "ms"}
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
 	if doc.TraceEvents == nil {
-		doc.TraceEvents = []chromeEvent{}
+		doc.TraceEvents = []ChromeEvent{}
 	}
 	return json.NewEncoder(w).Encode(doc)
+}
+
+// WriteJSON emits the buffered events as a Chrome trace-event JSON object.
+func (c *ChromeTracer) WriteJSON(w io.Writer) error {
+	return WriteEventsJSON(w, c.events)
 }
