@@ -29,7 +29,10 @@ import (
 	"strings"
 
 	"golisa/internal/cli"
+	"golisa/internal/core"
+	"golisa/internal/gosim"
 	"golisa/internal/perf"
+	"golisa/internal/sim"
 )
 
 // jsonEncoder is the tools' standard indented JSON encoder.
@@ -103,9 +106,15 @@ func runMeasureish(sub string, args []string) {
 		progName = strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
 	}
 	mc, mode := common.Load()
-	rec, err := perf.Measure(mc, mode, progName, string(src), perf.MeasureOptions{
-		Runs: *runs, MaxSteps: common.Max, Note: *note,
-	})
+	mopt := perf.MeasureOptions{Runs: *runs, MaxSteps: common.Max, Note: *note}
+	if mode == sim.Generated {
+		// The generated tier's wall passes must time the specialized
+		// runner itself; the counter pass keeps the observer-bearing
+		// classic engine, and step parity between the two is checked by
+		// Measure as always.
+		mopt.WallRunner = generatedRunner(mc, string(src), common.GenCache)
+	}
+	rec, err := perf.Measure(mc, mode, progName, string(src), mopt)
 	cli.Fail(err)
 
 	switch sub {
@@ -126,12 +135,36 @@ func runMeasureish(sub string, args []string) {
 	case "gate":
 		l, err := perf.Load(*ledger)
 		cli.Fail(err)
-		base := l.Latest(rec.Key())
-		if base == nil {
-			cli.Fail(fmt.Errorf("ledger %s has no baseline for %s (run `%s record` first)", *ledger, rec.Key(), cli.Tool))
+		base, err := l.Baseline(rec.Key())
+		if err != nil {
+			cli.Fail(fmt.Errorf("ledger %s: %w (run `%s record` first)", *ledger, err, cli.Tool))
 		}
 		res := perf.Gate(base, rec, perf.GateOptions{WallThreshold: *threshold, SkipWall: *skipWall})
 		emitGate(res, *jsonOut)
+	}
+}
+
+// generatedRunner compiles prog for the generated-code tier and returns
+// a WallRunner executing it through a cached native runner (IR fallback
+// when the toolchain is absent). Compile failures are fatal rather than
+// silently measured on the prebound twin: a "generated" ledger record
+// that actually timed the classic engine would poison every later gate.
+func generatedRunner(mc *core.Machine, src, cacheDir string) func(uint64) (uint64, int64, error) {
+	a, err := mc.NewAssembler()
+	cli.Fail(err)
+	prog, err := a.Assemble(src)
+	cli.Fail(err)
+	p, err := gosim.Compile(mc, prog)
+	if err != nil {
+		cli.Fail(fmt.Errorf("generated mode: %w", err))
+	}
+	eng := gosim.NewEngine(p, gosim.NewCache(cacheDir), gosim.Options{})
+	return func(maxSteps uint64) (uint64, int64, error) {
+		res, err := eng.Run(maxSteps)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Steps, res.RunNs, nil
 	}
 }
 

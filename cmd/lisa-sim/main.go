@@ -43,8 +43,12 @@ import (
 	"strings"
 	"time"
 
+	"golisa/internal/bitvec"
 	"golisa/internal/cli"
+	"golisa/internal/core"
+	"golisa/internal/gosim"
 	"golisa/internal/otrace"
+	"golisa/internal/sim"
 	"golisa/internal/trace"
 	"golisa/internal/vcd"
 )
@@ -69,6 +73,7 @@ func main() {
 		m, mode := common.Load()
 		batch.Perf = obs.Perf
 		batch.PerfLedger = obs.PerfLedger
+		batch.GenCache = common.GenCache
 		cli.Fail(batch.Run(otrace.FromEnv("lisa-sim batch"), m, mode, common.Max))
 		return
 	}
@@ -86,6 +91,18 @@ func main() {
 	progPath := flag.Arg(0)
 	src, err := os.ReadFile(progPath)
 	cli.Fail(err)
+
+	// The generated tier bypasses the generic scheduler entirely: the
+	// program is compiled to specialized Go, built into a cached runner
+	// and executed as a subprocess (IR-interpreted in-process when that
+	// is not worth it). Programs or models outside the supported class
+	// fall back to the classic prebound engine below, with a notice.
+	if mode == sim.Generated {
+		if runGenerated(tr, m, &common, string(src), *dumpRegs) {
+			return
+		}
+	}
+
 	asmSpan := tr.Start(nil, "assemble")
 	s, prog, err := m.AssembleAndLoad(string(src), mode)
 	asmSpan.End()
@@ -185,4 +202,52 @@ func main() {
 	sess.WriteBundle(n, runElapsed)
 	sess.Close()
 	sess.Wait()
+}
+
+// runGenerated runs the program on the generated-code simulator. It
+// returns false (without output) when the (model, program) pair is
+// outside gosim's supported class, in which case the caller falls back to
+// the classic prebound engine.
+func runGenerated(tr *otrace.Trace, m *core.Machine, common *cli.Common, src, dumpRegs string) bool {
+	a, err := m.NewAssembler()
+	cli.Fail(err)
+	asmSpan := tr.Start(nil, "assemble")
+	prog, err := a.Assemble(src)
+	asmSpan.End()
+	cli.Fail(err)
+	p, err := gosim.Compile(m, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v; falling back to the prebound engine\n", cli.Tool, err)
+		return false
+	}
+	eng := gosim.NewEngine(p, gosim.NewCache(common.GenCache), gosim.Options{
+		OnPrint: func(msg string) { fmt.Println(msg) },
+	})
+	runSpan := tr.Start(nil, "run")
+	res, err := eng.Run(common.Max)
+	runSpan.End()
+	cli.Fail(err)
+	fmt.Printf("; %d words loaded at %#x\n", len(prog.Words), prog.Origin)
+	fmt.Printf("; %d control steps (generated mode), halted=%v; trace %s\n", res.Steps, res.Halted, tr.ID())
+	if res.Native {
+		fmt.Printf("; native runner: cache hit=%v, runner builds this process=%d, run loop %s\n",
+			res.CacheHit, eng.Cache.Builds(), time.Duration(res.RunNs))
+	} else {
+		fmt.Printf("; IR fallback (%s), run loop %s\n", res.Fallback, time.Duration(res.RunNs))
+	}
+	for _, name := range strings.Split(dumpRegs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r := m.Model.Resource(name)
+		if r == nil || !r.IsMemory() {
+			cli.Fail(fmt.Errorf("no register file %q", name))
+		}
+		vals := res.Arrays[r.Slot]
+		for i := uint64(0); i < r.Total() && i < uint64(len(vals)); i++ {
+			fmt.Printf("%s%-2d = %d\n", name, i, bitvec.New(vals[i], r.Width).Int())
+		}
+	}
+	return true
 }

@@ -35,6 +35,10 @@ type Batch struct {
 	// summary; PerfLedger additionally appends them to a .lperf file.
 	Perf       bool
 	PerfLedger string
+
+	// GenCache mirrors the shared Common -gen-cache flag (the generated-
+	// mode runner cache directory), copied in by the tool like Perf.
+	GenCache string
 }
 
 // Register defines the batch flags on fs.
@@ -68,7 +72,7 @@ func (b *Batch) Run(tr *otrace.Trace, mc *core.Machine, mode sim.Mode, max uint6
 			return err
 		}
 	}
-	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, Cover: b.Cover || man.Cover, Perf: b.Perf || b.PerfLedger != "" || man.Perf, MaxPrints: man.MaxPrints}
+	opt := fleet.Options{Workers: man.Workers, MaxSteps: man.Max, Analyze: b.Analyze || man.Analyze, Cover: b.Cover || man.Cover, Perf: b.Perf || b.PerfLedger != "" || man.Perf, MaxPrints: man.MaxPrints, GenCache: b.GenCache}
 	if b.Workers > 0 {
 		opt.Workers = b.Workers
 	}
@@ -116,6 +120,10 @@ func (b *Batch) Run(tr *otrace.Trace, mc *core.Machine, mode sim.Mode, max uint6
 		fmt.Printf("; trace %s\n", sum.TraceID)
 		fmt.Printf("; artifact: %d prewarm decodes, %d compiles, %d cached words; jobs re-did %d decodes, %d compiles\n",
 			sum.PrewarmDecodes, sum.ArtifactCompiles, sum.CachedWords, sum.JobDecodes, sum.JobCompiles)
+		if sum.GenNative > 0 || sum.GenFallback > 0 {
+			fmt.Printf("; generated tier: %d native runs, %d IR fallbacks, %d runner builds\n",
+				sum.GenNative, sum.GenFallback, sum.RunnerBuilds)
+		}
 		for _, r := range sum.Results {
 			status := "ok"
 			switch {

@@ -32,6 +32,18 @@ func Usage(line string) {
 	os.Exit(2)
 }
 
+// FailUsage prints err prefixed with the tool name and exits 2: the
+// usage-class exit for malformed flag values (unknown -mode, a
+// mode-specific flag without its mode), distinct from runtime failures
+// which exit 1 via Fail.
+func FailUsage(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", Tool, err)
+	os.Exit(2)
+}
+
+// ValidModes is the -mode vocabulary, in help-text order.
+const ValidModes = "interpretive, compiled, prebound, generated"
+
 // LoadModel loads a builtin model by name, or a .lisa file by path (the
 // model name is the file's base name without extension). Errors exit.
 func LoadModel(name string) *core.Machine {
@@ -54,8 +66,10 @@ func ParseMode(name string) (sim.Mode, error) {
 		return sim.Compiled, nil
 	case "prebound":
 		return sim.CompiledPrebound, nil
+	case "generated":
+		return sim.Generated, nil
 	default:
-		return 0, fmt.Errorf("unknown mode %q (want interpretive, compiled or prebound)", name)
+		return 0, fmt.Errorf("unknown mode %q (valid modes: %s)", name, ValidModes)
 	}
 }
 
@@ -65,21 +79,32 @@ type Common struct {
 	Model string
 	Mode  string
 	Max   uint64
+
+	// GenCache is the generated-tier runner cache directory (-gen-cache).
+	// It only applies with -mode generated; Load rejects it otherwise.
+	GenCache string
 }
 
 // Register defines the flags on fs (flag.CommandLine in the tools).
 func (c *Common) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Model, "model", "simple16", "builtin model name or path to a .lisa file")
-	fs.StringVar(&c.Mode, "mode", "compiled", "simulation mode: interpretive, compiled, prebound")
+	fs.StringVar(&c.Mode, "mode", "compiled", "simulation mode: "+ValidModes)
 	fs.Uint64Var(&c.Max, "max", 1_000_000, "maximum control steps")
+	fs.StringVar(&c.GenCache, "gen-cache", "", "generated mode: runner build-cache directory (default: a per-user cache dir)")
 	AddVersionFlag(fs)
 	RegisterLogFlags(fs)
 }
 
-// Load resolves the flag values into a machine and a mode, exiting on a
-// bad -mode.
+// Load resolves the flag values into a machine and a mode. An unknown
+// -mode or a mode-specific flag used without its mode is a usage error
+// (exit 2), so scripts can tell a bad invocation from a failed run.
 func (c *Common) Load() (*core.Machine, sim.Mode) {
 	mode, err := ParseMode(c.Mode)
-	Fail(err)
+	if err != nil {
+		FailUsage(err)
+	}
+	if c.GenCache != "" && mode != sim.Generated {
+		FailUsage(fmt.Errorf("-gen-cache applies only to -mode generated, not -mode %s (valid modes: %s)", c.Mode, ValidModes))
+	}
 	return LoadModel(c.Model), mode
 }

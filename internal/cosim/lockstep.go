@@ -5,6 +5,7 @@ import (
 	"io"
 	"log/slog"
 
+	"golisa/internal/model"
 	"golisa/internal/replay"
 	"golisa/internal/sim"
 	"golisa/internal/trace"
@@ -27,6 +28,13 @@ type Lockstep struct {
 	// Ref is the reference simulator; it must have been created from the
 	// same model and loaded with the same program as the kernel's CPU.
 	Ref *sim.Simulator
+
+	// CPUState, when non-nil, supplies the CPU-side architectural state
+	// instead of a *sim.Simulator — the seam that lets engines living
+	// outside package sim (the generated-code simulator, for one) be
+	// lockstep-checked against the interpretive reference. The returned
+	// state must be slot-compatible with Ref's model.
+	CPUState func() *model.State
 
 	// Flight, when non-nil, receives a KindDiverge note so post-mortem
 	// dumps show the divergence amid the events that led to it.
@@ -69,6 +77,13 @@ func NewLockstep(cpu, ref *sim.Simulator) *Lockstep {
 	return &Lockstep{Ref: ref, cpu: cpu}
 }
 
+// NewLockstepState creates a lockstep checker whose CPU side is any
+// engine that can render its architectural state as a *model.State. The
+// caller drives Tick once per completed CPU control step.
+func NewLockstepState(state func() *model.State, ref *sim.Simulator) *Lockstep {
+	return &Lockstep{Ref: ref, CPUState: state}
+}
+
 // Name implements Device.
 func (l *Lockstep) Name() string { return "lockstep" }
 
@@ -84,7 +99,13 @@ func (l *Lockstep) Tick(cycle uint64) {
 			return
 		}
 	}
-	if eq, detail := l.cpu.S.Equal(l.Ref.S); !eq {
+	var cpuS *model.State
+	if l.CPUState != nil {
+		cpuS = l.CPUState()
+	} else {
+		cpuS = l.cpu.S
+	}
+	if eq, detail := cpuS.Equal(l.Ref.S); !eq {
 		l.diverge(cycle, detail)
 	}
 }

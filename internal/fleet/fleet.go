@@ -20,6 +20,7 @@ import (
 	"golisa/internal/asm"
 	"golisa/internal/core"
 	"golisa/internal/cover"
+	"golisa/internal/gosim"
 	"golisa/internal/otrace"
 	"golisa/internal/perf"
 	"golisa/internal/sim"
@@ -60,6 +61,13 @@ type Result struct {
 	// PrintsTruncated marks that the job emitted more print lines than
 	// Options.MaxPrints and the excess was dropped.
 	PrintsTruncated bool `json:"prints_truncated,omitempty"`
+
+	// GenNative marks a generated-mode job that executed its built native
+	// runner; GenFallback records why one ran on the in-process IR
+	// interpreter instead (toolchain missing, program below the build
+	// threshold). Jobs outside the generated tier leave both zero.
+	GenNative   bool   `json:"gen_native,omitempty"`
+	GenFallback string `json:"gen_fallback,omitempty"`
 
 	// TraceID/SpanID are the job's identity in the batch's trace: TraceID
 	// is shared by the whole batch, SpanID names this job's span. They tie
@@ -108,6 +116,10 @@ type Options struct {
 	// merged fleet+sim timeline; attaching the same collector via
 	// Telemetry instead yields only the fleet lanes.
 	Chrome *ChromeSpans
+	// GenCache is the generated-mode runner cache directory ("" = the
+	// per-user default). Only consulted when the batch mode is
+	// sim.Generated.
+	GenCache string
 }
 
 // DefaultMaxSteps caps jobs when neither the job nor the options set one.
@@ -141,6 +153,15 @@ type Summary struct {
 	CachedWords      int    `json:"cached_words"`
 	JobDecodes       uint64 `json:"job_decodes"`
 	JobCompiles      uint64 `json:"job_compiles"`
+
+	// Generated-tier accounting: RunnerBuilds counts the `go build`
+	// invocations this batch performed for runner binaries — at most one
+	// per distinct (model, program) pair, zero when every runner was
+	// already cached. GenNative and GenFallback count generated-mode jobs
+	// by how they executed.
+	RunnerBuilds uint64 `json:"runner_builds,omitempty"`
+	GenNative    int    `json:"gen_native,omitempty"`
+	GenFallback  int    `json:"gen_fallback,omitempty"`
 
 	// Penalty aggregates per-cause penalty cycles over all analyzed jobs
 	// (Options.Analyze).
@@ -268,6 +289,26 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 		covMap = cover.NewMap(mc.Model)
 	}
 
+	// Generated tier: compile each distinct program into its specialized
+	// gosim form once; workers share one runner cache, so each (model,
+	// program) pair is `go build`-ed at most once across the whole pool.
+	// Observer-needing options (Analyze/Cover/Chrome) and unsupported
+	// programs stay on the classic prebound artifact path.
+	var genProgs map[string]*gosim.Program
+	var genCache *gosim.Cache
+	if mode == sim.Generated && !opt.Analyze && !opt.Cover && opt.Chrome == nil {
+		genCache = gosim.NewCache(opt.GenCache)
+		genProgs = make(map[string]*gosim.Program, len(progs))
+		genSpan := tr.Start(batchSpan, "gosim-compile")
+		for src, prog := range progs {
+			if gp, err := gosim.Compile(mc, prog); err == nil {
+				genProgs[src] = gp
+			}
+		}
+		genSpan.SetAttr("programs", len(genProgs))
+		genSpan.End()
+	}
+
 	defMax := opt.MaxSteps
 	if defMax == 0 {
 		defMax = DefaultMaxSteps
@@ -321,7 +362,11 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 						simTracers[i] = ct
 					}
 					runSpan := tr.Start(jobSpan, "run")
-					runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, covMap, ct, &res)
+					if gp := genProgs[job.Source]; gp != nil {
+						runGenJob(genCache, gp, max, maxPrints, &res)
+					} else {
+						runJob(art, pm, progs[job.Source], max, maxPrints, opt.Analyze, covMap, ct, &res)
+					}
 					runSpan.SetAttr("steps", res.Steps)
 					runSpan.End()
 				}
@@ -406,8 +451,17 @@ func Run(mc *core.Machine, mode sim.Mode, jobs []Job, opt Options) (*Summary, er
 				sum.Failed++
 			}
 		}
+		if r.GenNative {
+			sum.GenNative++
+		}
+		if r.GenFallback != "" {
+			sum.GenFallback++
+		}
 		hist.Observe(uint64(r.RunFor))
 		busy += r.RunFor
+	}
+	if genCache != nil {
+		sum.RunnerBuilds = genCache.Builds()
 	}
 	sum.Latency = Latency{
 		P50: time.Duration(hist.Quantile(0.50)),
@@ -494,6 +548,33 @@ func runJob(art *sim.Artifact, pm string, prog *asm.Program, maxSteps uint64, ma
 	}
 	if col != nil {
 		res.Coverage = col.Snapshot()
+	}
+}
+
+// runGenJob executes one generated-tier simulation: the specialized
+// gosim program on the shared runner cache, degrading to the in-process
+// IR interpreter when the native path is unavailable.
+func runGenJob(cache *gosim.Cache, gp *gosim.Program, maxSteps uint64, maxPrints int, res *Result) {
+	r, err := gosim.NewEngine(gp, cache, gosim.Options{}).Run(maxSteps)
+	if err != nil {
+		res.Err = err.Error()
+	}
+	if r == nil {
+		return
+	}
+	res.Steps = r.Steps
+	res.Halted = r.Halted
+	res.GenNative = r.Native
+	res.GenFallback = r.Fallback
+	if len(r.Penalty) > 0 {
+		res.Penalty = r.Penalty
+	}
+	for _, msg := range r.Prints {
+		if maxPrints > 0 && len(res.Prints) >= maxPrints {
+			res.PrintsTruncated = true
+			break
+		}
+		res.Prints = append(res.Prints, msg)
 	}
 }
 

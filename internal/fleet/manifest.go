@@ -197,7 +197,9 @@ func ParseMode(name string) (sim.Mode, error) {
 		return sim.Compiled, nil
 	case "prebound", "compiled+prebound":
 		return sim.CompiledPrebound, nil
+	case "generated":
+		return sim.Generated, nil
 	default:
-		return 0, fmt.Errorf("unknown mode %q (want interpretive, compiled or prebound)", name)
+		return 0, fmt.Errorf("unknown mode %q (valid modes: interpretive, compiled, prebound, generated)", name)
 	}
 }

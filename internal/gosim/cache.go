@@ -1,0 +1,120 @@
+package gosim
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed runner store. Runner binaries are keyed
+// by (model hash, program hash) — the same perf-ledger hashes the rest of
+// the toolchain uses — so a fleet sharing one Cache builds each distinct
+// (model, program) pair exactly once, no matter how many workers race on
+// it, and a binary left by an earlier process is reused without invoking
+// `go build` at all.
+//
+// Layout: <Dir>/<modelHash>-<progHash>/{main.go, go.mod, runner}.
+type Cache struct {
+	// Dir is the cache root.
+	Dir string
+
+	mu       sync.Mutex
+	inflight map[string]*buildResult
+	builds   atomic.Uint64
+}
+
+// buildResult memoizes one key's build outcome for the process lifetime.
+type buildResult struct {
+	once sync.Once
+	path string
+	hit  bool
+	err  error
+}
+
+// NewCache opens (or lazily creates) a runner cache rooted at dir. An
+// empty dir selects the user cache directory (falling back to the system
+// temp directory).
+func NewCache(dir string) *Cache {
+	if dir == "" {
+		if base, err := os.UserCacheDir(); err == nil {
+			dir = filepath.Join(base, "golisa", "gosim")
+		} else {
+			dir = filepath.Join(os.TempDir(), "golisa-gosim")
+		}
+	}
+	return &Cache{Dir: dir, inflight: make(map[string]*buildResult)}
+}
+
+// Builds reports how many `go build` invocations this process has run —
+// the fleet's zero-recompilation assertions count on it.
+func (c *Cache) Builds() uint64 { return c.builds.Load() }
+
+// Runner returns the path to the runner binary for p, building it if this
+// is the first time the (model, program) pair is seen. cacheHit reports
+// that the binary already existed and `go build` was not invoked by this
+// call (whether from an earlier call in this process or a previous one).
+func (c *Cache) Runner(p *Program) (path string, cacheHit bool, err error) {
+	key := p.ModelHash + "-" + p.ProgHash
+	c.mu.Lock()
+	br := c.inflight[key]
+	first := false
+	if br == nil {
+		br = &buildResult{}
+		c.inflight[key] = br
+		first = true
+	}
+	c.mu.Unlock()
+	br.once.Do(func() {
+		br.path, br.hit, br.err = c.build(key, p)
+	})
+	// Callers that lost the once-race still hit the cache: the build ran
+	// on some other goroutine's behalf.
+	if !first && br.err == nil {
+		return br.path, true, nil
+	}
+	return br.path, br.hit, br.err
+}
+
+// build materializes the runner for key, reusing an on-disk binary from a
+// previous process when present.
+func (c *Cache) build(key string, p *Program) (string, bool, error) {
+	dir := filepath.Join(c.Dir, key)
+	bin := filepath.Join(dir, "runner")
+	if fi, err := os.Stat(bin); err == nil && !fi.IsDir() {
+		return bin, true, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", false, fmt.Errorf("gosim: create cache dir: %w", err)
+	}
+	src, err := p.EmitSource()
+	if err != nil {
+		return "", false, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+		return "", false, fmt.Errorf("gosim: write runner source: %w", err)
+	}
+	gomod := "module lisarunner\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return "", false, fmt.Errorf("gosim: write runner go.mod: %w", err)
+	}
+	// Unique temp name + rename keeps concurrent processes from clobbering
+	// each other's half-written binaries.
+	tmp := fmt.Sprintf("%s.tmp.%d", bin, os.Getpid())
+	cmd := exec.Command("go", "build", "-o", tmp, ".")
+	cmd.Dir = dir
+	// Insulate the build from the invoking environment's module knobs.
+	cmd.Env = append(os.Environ(), "GOFLAGS=", "GOWORK=off", "GO111MODULE=on")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		os.Remove(tmp)
+		return "", false, fmt.Errorf("gosim: go build runner: %w\n%s", err, out)
+	}
+	if err := os.Rename(tmp, bin); err != nil {
+		os.Remove(tmp)
+		return "", false, fmt.Errorf("gosim: install runner: %w", err)
+	}
+	c.builds.Add(1)
+	return bin, false, nil
+}

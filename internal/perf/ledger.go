@@ -122,6 +122,18 @@ func (l *Ledger) Latest(k Key) *RunRecord {
 	return recs[len(recs)-1]
 }
 
+// Baseline returns the newest record for an exact key, or an error
+// naming the missing (model, program, engine) triple. It is the gate's
+// guard: comparing against a zero-value baseline when the ledger is
+// empty or missing would report nonsense deltas, so the absence must be
+// an explicit failure, never a silent pass.
+func (l *Ledger) Baseline(k Key) (*RunRecord, error) {
+	if rec := l.Latest(k); rec != nil {
+		return rec, nil
+	}
+	return nil, fmt.Errorf("no baseline for (%s, %s, %s)", k.Model, k.Program, k.Engine)
+}
+
 // Keys returns every distinct (model, program, engine) triple present, in
 // stable sorted order.
 func (l *Ledger) Keys() []Key {

@@ -26,6 +26,14 @@ type MeasureOptions struct {
 	// Time stamps the record (RFC3339); empty means "now". Tests pin it
 	// to build byte-identical records.
 	Time string
+	// WallRunner, when non-nil, replaces the engine of the timed wall
+	// passes: it must run the program to completion and return the step
+	// count and the pure run-loop nanoseconds. The generated tier plugs
+	// its specialized runner in here, so the wall numbers time the
+	// generated code itself (build, exec and protocol costs excluded)
+	// while the counter pass still runs the observer-bearing classic
+	// engine. Step counts must match the counter pass, as always.
+	WallRunner func(maxSteps uint64) (steps uint64, ns int64, err error)
 }
 
 // DefaultRuns is the wall-clock pass count when MeasureOptions.Runs is 0.
@@ -109,6 +117,20 @@ func Measure(mc *core.Machine, mode sim.Mode, progName, src string, opt MeasureO
 	// match the counter pass or the measurement is meaningless.
 	nsPerCycle := make([]float64, 0, opt.Runs)
 	for i := 0; i < opt.Runs; i++ {
+		if opt.WallRunner != nil {
+			wsteps, ns, err := opt.WallRunner(opt.MaxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("perf: wall pass %d: %w", i+1, err)
+			}
+			if wsteps != steps {
+				return nil, fmt.Errorf("perf: nondeterministic run: wall pass %d took %d cycles, counter pass took %d",
+					i+1, wsteps, steps)
+			}
+			if steps > 0 {
+				nsPerCycle = append(nsPerCycle, float64(ns)/float64(steps))
+			}
+			continue
+		}
 		ws, err := mc.NewSimulator(mode)
 		if err != nil {
 			return nil, err

@@ -461,3 +461,69 @@ func TestRecordWriters(t *testing.T) {
 		t.Errorf("JSON round-trip breaks content address: %v", err)
 	}
 }
+
+// TestBaselineMissing pins the gate's no-baseline failure mode: an empty
+// ledger (fresh, or loaded from a file that does not exist) must name the
+// missing (model, program, engine) triple in an error, never hand the
+// caller a nil record to dereference or a zero-value baseline to diff
+// against.
+func TestBaselineMissing(t *testing.T) {
+	k := Key{Model: "simple16", Program: "fir", Engine: "generated"}
+	for _, tc := range []struct {
+		name   string
+		ledger func(t *testing.T) *Ledger
+	}{
+		{"fresh empty ledger", func(t *testing.T) *Ledger { return NewLedger() }},
+		{"missing ledger file", func(t *testing.T) *Ledger {
+			l, err := Load(filepath.Join(t.TempDir(), "nope.lperf"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		}},
+		{"ledger with only other keys", func(t *testing.T) *Ledger {
+			l := NewLedger()
+			r := New(Env{Model: "simple16", Program: "fir", Engine: "prebound",
+				ModelHash: "mh", ProgramHash: "ph", Time: "t1"})
+			r.SetCounters(10, true, nil)
+			l.Add(r.Seal())
+			return l
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := tc.ledger(t).Baseline(k)
+			if err == nil {
+				t.Fatalf("Baseline = %+v, want error", rec)
+			}
+			if rec != nil {
+				t.Errorf("Baseline returned non-nil record %v with error", rec.ID)
+			}
+			want := "no baseline for (simple16, fir, generated)"
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("Baseline error = %q, want it to contain %q", err, want)
+			}
+		})
+	}
+}
+
+// TestBaselineHit is the positive twin: with history present, Baseline
+// agrees with Latest.
+func TestBaselineHit(t *testing.T) {
+	l := NewLedger()
+	mk := func(cycles uint64, tm string) *RunRecord {
+		r := New(Env{Model: "simple16", Program: "fir", Engine: "generated",
+			ModelHash: "mh", ProgramHash: "ph", Time: tm})
+		r.SetCounters(cycles, true, nil)
+		return r.Seal()
+	}
+	l.Add(mk(100, "t1"))
+	newest := mk(90, "t2")
+	l.Add(newest)
+	got, err := l.Baseline(Key{"simple16", "fir", "generated"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != newest.ID {
+		t.Errorf("Baseline = %.12s, want newest %.12s", got.ID, newest.ID)
+	}
+}

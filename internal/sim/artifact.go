@@ -62,7 +62,7 @@ func NewArtifact(m *model.Model, mode Mode) *Artifact {
 		decode: map[decodeKey]*model.Instance{},
 		buildX: &behavior.Exec{M: m, S: model.NewState(m)},
 	}
-	if mode == CompiledPrebound {
+	if mode.prebinds() {
 		a.shared = behavior.NewCompiledSet()
 	}
 	// Pre-bind the operations reachable without operand bindings (main,

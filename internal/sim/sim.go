@@ -24,10 +24,16 @@ type Mode int
 // execution of a coding root; Compiled decodes once per distinct word and
 // reuses the bound instance (the paper's compiled-simulation principle);
 // CompiledPrebound additionally pre-compiles behavior into closures.
+// Generated is the true compiled tier (internal/gosim): the program is
+// translated to specialized Go code. A sim.Simulator built in Generated
+// mode behaves exactly like CompiledPrebound — it is the in-process
+// fallback engine the generated tier degrades to when a model or program
+// is outside the static-schedule class gosim can translate.
 const (
 	Interpretive Mode = iota
 	Compiled
 	CompiledPrebound
+	Generated
 )
 
 func (m Mode) String() string {
@@ -38,6 +44,8 @@ func (m Mode) String() string {
 		return "compiled"
 	case CompiledPrebound:
 		return "compiled+prebound"
+	case Generated:
+		return "generated"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -502,9 +510,15 @@ func (s *Simulator) execute(it runItem) error {
 	return nil
 }
 
+// prebinds reports whether a mode pre-compiles behavior into closures.
+// Generated shares the prebound in-process engine: the gosim tier runs
+// outside the Simulator entirely, so a Generated Simulator is the
+// fallback and must be the fastest interpreter available.
+func (m Mode) prebinds() bool { return m == CompiledPrebound || m == Generated }
+
 // runBehavior dispatches to the mode's execution engine.
 func (s *Simulator) runBehavior(in *model.Instance) error {
-	if s.mode == CompiledPrebound {
+	if s.mode.prebinds() {
 		return s.runPrebound(in)
 	}
 	return s.x.Run(in)
@@ -674,7 +688,7 @@ func (s *Simulator) processActivation(in *model.Instance, items []ast.ActItem, c
 // evalCond evaluates an activation condition, using compiled closures in
 // prebound mode.
 func (s *Simulator) evalCond(in *model.Instance, e ast.Expr) (bool, error) {
-	if s.mode == CompiledPrebound {
+	if s.mode.prebinds() {
 		return s.x.EvalCondCompiled(in, e)
 	}
 	return s.x.EvalCond(in, e)
@@ -682,7 +696,7 @@ func (s *Simulator) evalCond(in *model.Instance, e ast.Expr) (bool, error) {
 
 // evalValue evaluates an activation switch tag/case value.
 func (s *Simulator) evalValue(in *model.Instance, e ast.Expr) (bitvec.Value, error) {
-	if s.mode == CompiledPrebound {
+	if s.mode.prebinds() {
 		return s.x.EvalValueCompiled(in, e)
 	}
 	return s.x.EvalValue(in, e)
